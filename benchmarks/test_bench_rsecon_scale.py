@@ -1,0 +1,54 @@
+"""SCALE — §IV.B: the RSECon24 workshop, 45 simultaneous Jupyter users.
+
+The paper's single quantitative datapoint: "45 trainees logging in and
+running notebooks simultaneously".  The bench sweeps the cohort size
+(1, 15, 45, 90) through the complete login path and reports success
+rates, live sessions and login+spawn latency percentiles in simulated
+time.  The paper's claim corresponds to the N=45 row succeeding with
+zero failures.
+"""
+
+import pytest
+
+from repro.core import build_isambard
+from repro.core.metrics import format_table, latency_stats
+
+COHORTS = (1, 15, 45, 90)
+
+
+def run_workshop(n: int, seed: int):
+    dri = build_isambard(seed=seed)
+    return dri, dri.workflows.rsecon_workshop(n)
+
+
+def test_rsecon_scale(benchmark, report):
+    rows = []
+    paper_row = None
+    for n in COHORTS:
+        if n == 45:
+            dri, result = benchmark.pedantic(
+                run_workshop, args=(45, 45), rounds=1, iterations=1)
+            paper_row = result
+        else:
+            dri, result = run_workshop(n, seed=100 + n)
+        stats = latency_stats(result.data["latencies"])
+        rows.append([
+            n,
+            f"{n - result.data['failures']}/{n}",
+            result.data["live_sessions"],
+            f"{stats['p50'] * 1000:.1f}",
+            f"{stats['p95'] * 1000:.1f}",
+            f"{dri.pool.utilisation():.1%}",
+        ])
+        if n <= 45:
+            assert result.ok, result.steps
+
+    assert paper_row is not None and paper_row.ok
+    assert paper_row.data["live_sessions"] >= 45
+
+    report("rsecon_scale", format_table(
+        ["trainees", "logins ok", "live notebooks",
+         "login+spawn p50 (sim ms)", "p95 (sim ms)", "cluster util"],
+        rows,
+        title="SCALE: RSECon24 workshop reproduction (§IV.B; paper ran N=45)",
+    ))

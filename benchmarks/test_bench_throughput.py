@@ -1,0 +1,90 @@
+"""PERF — control-plane throughput microbenchmarks (real wall-clock).
+
+Not a paper artefact: these measure this implementation's hot paths with
+pytest-benchmark's real timers, per the HPC-Python guidance (measure
+first; optimise what the profile shows).  The rows give a baseline for
+anyone extending the library — e.g. how many token validations per
+second one simulated relying party can sustain.
+"""
+
+import pytest
+
+from repro.broker import RbacTokenValidator, Role, TokenService
+from repro.clock import SimClock
+from repro.core import build_isambard
+from repro.crypto import JwkSet, encode_jwt
+from repro.crypto.keys import generate_signing_key
+from repro.ids import IdFactory
+from repro.net import Firewall, OperatingDomain, Zone
+from repro.core.deployment import _open_fig1_flows
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_signing_key("EdDSA", kid="perf")
+
+
+def test_perf_jwt_sign(benchmark, key):
+    claims = {"iss": "i", "sub": "s", "aud": "a", "exp": 10**9, "iat": 0}
+    token = benchmark(encode_jwt, claims, key)
+    assert token.count(".") == 2
+
+
+def test_perf_jwt_validate(benchmark, key):
+    from repro.crypto import JwtValidator
+
+    clock = SimClock()
+    claims = {"iss": "i", "sub": "s", "aud": "a", "exp": 10**9, "iat": 0}
+    token = encode_jwt(claims, key)
+    validator = JwtValidator(clock, "i", "a", JwkSet([key.public()]))
+    out = benchmark(validator.validate, token)
+    assert out["sub"] == "s"
+
+
+def test_perf_rbac_mint_and_validate(benchmark, key):
+    clock = SimClock()
+    service = TokenService(clock, IdFactory(1), key, "iss")
+    validator = RbacTokenValidator(
+        clock, "iss", "aud", JwkSet([key.public()]), service.is_revoked
+    )
+
+    def mint_validate():
+        token, _ = service.mint("alice", "aud", Role.RESEARCHER)
+        return validator.validate(token)
+
+    claims = benchmark(mint_validate)
+    assert claims["role"] == "researcher"
+
+
+def test_perf_firewall_evaluation(benchmark):
+    fw = Firewall()
+    _open_fig1_flows(fw)
+
+    def evaluate_sweep():
+        allowed = 0
+        for port in (22, 443):
+            for src in OperatingDomain:
+                for dst in OperatingDomain:
+                    if fw.evaluate(src, Zone.ACCESS, dst, Zone.HPC, port):
+                        allowed += 1
+        return allowed
+
+    assert benchmark(evaluate_sweep) >= 1
+
+
+def test_perf_full_federated_login(benchmark):
+    """One complete SSO round (IdP -> MyAccessID -> broker), amortised:
+    each iteration is a fresh user on a shared deployment."""
+    dri = build_isambard(seed=99)
+    dri.workflows.story1_pi_onboarding("seed-user")  # warm the paths
+    counter = [0]
+
+    def one_login():
+        counter[0] += 1
+        name = f"perf{counter[0]:04d}"
+        persona = dri.workflows.create_researcher(name)
+        resp = dri.workflows.login(persona)
+        assert resp.status in (200, 403)  # 403: no role (expected)
+        return resp.status
+
+    benchmark.pedantic(one_login, rounds=20, iterations=1)

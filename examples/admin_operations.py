@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Administrator operations: stories 2 and 5, plus a live rolling patch.
+
+Shows the layered admin path — hardware-key MFA at the managed IdP,
+human-check approval, per-service RBAC (no global admin), tailnet
+enrolment, and a privileged management-plane operation — then uses it to
+patch the HA bastion set against a fresh CVE while users stay connected.
+
+Run:  python examples/admin_operations.py
+"""
+
+from repro import build_isambard
+from repro.broker import Role
+from repro.siem import Advisory
+
+
+def main() -> None:
+    dri = build_isambard(seed=7)
+    wf = dri.workflows
+
+    print("=== User story 2: administrators-only account ===")
+    s2 = wf.story2_admin_registration("ops1")
+    for step in s2.steps:
+        print(f"  * {step}")
+
+    print("\n=== User story 5: privileged operation through the layers ===")
+    s5 = wf.story5_privileged_operation("ops1", operation="drain_node",
+                                        target="gh-0042")
+    for step in s5.steps:
+        print(f"  * {step}")
+
+    print("\n=== Separation of duties ===")
+    sec = wf.create_admin("sec1", Role.ADMIN_SECURITY)
+    wf.login(sec)
+    denied = wf.mint(sec, "mgmt-node", Role.ADMIN_INFRA.value)
+    print(f"  security admin asks for an infra token -> HTTP {denied.status}")
+    soc_token = wf.mint(sec, "soc", Role.ADMIN_SECURITY.value)
+    print(f"  security admin asks for a SOC token    -> HTTP {soc_token.status}")
+
+    print("\n=== A CVE lands: rolling patch of the bastion set ===")
+    dri.soc.inventory.publish_advisory(Advisory(
+        "CVE-2024-31337", "bastion-vm", ("v1",), "critical",
+        "remote pre-auth bug in the SSH stack",
+    ))
+    print(f"  vulnerable assets: {dri.soc.inventory.vulnerable_assets()}")
+
+    # a user stays connected while we patch one VM at a time
+    s1 = wf.story1_pi_onboarding("alice")
+    for vm in list(dri.bastion.vms):
+        dri.bastion.drain(vm.vm_id)
+        mid_patch = wf.story4_ssh_session("alice")
+        print(f"  {vm.vm_id} draining; user SSH during patch: ok={mid_patch.ok}")
+        dri.bastion.patch_and_restore(vm.vm_id, "v2")
+        dri.soc.inventory.update_version(vm.vm_id, "v2", now=dri.clock.now())
+    print(f"  vulnerable assets after patch: "
+          f"{dri.soc.inventory.vulnerable_assets() or 'none'}")
+
+    print("\n=== Posture, as the security admin sees it ===")
+    from repro.net.http import HttpRequest
+    from repro.oidc import make_url
+
+    resp, _ = sec.agent.get(
+        make_url("soc", "/posture"),
+        headers={"Authorization": f"Bearer {soc_token.body['token']}"},
+    ) if False else (None, None)
+    # the SOC lives in the Security zone: a laptop cannot reach it, even
+    # with a valid token — the security admin uses the SOC's own console
+    try:
+        sec.agent.call("soc", HttpRequest("GET", "/posture"))
+    except Exception as exc:
+        print(f"  direct SOC access from a laptop: {type(exc).__name__} "
+              f"(the Security zone is isolated)")
+    report = dri.soc.handle(HttpRequest(
+        "GET", "/posture",
+        headers={"Authorization": f"Bearer {soc_token.body['token']}"},
+    ))
+    for check in report.body["config_checks"]:
+        mark = "PASS" if check["passed"] else "FAIL"
+        print(f"  [{mark}] {check['id']:<10} {check['title']}")
+    print(f"  configuration score: {report.body['config_score']:.0%} "
+          f"(the FAIL is the paper's own roadmap item)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Incident response: detection, alerting and the externally managed
+kill switch.
+
+An attacker brute-forces an institutional IdP and probes the segmented
+network.  The log forwarders ship the evidence to the SOC in the
+Security zone, detection rules fire, the external monitoring escalates,
+and the kill switch contains the actor — then, for a worst-case drill,
+the whole front door is shut and restored (§III.B's "extreme cases").
+
+Run:  python examples/incident_response.py
+"""
+
+from repro import build_isambard
+from repro.core import ThreatModel
+from repro.net.http import HttpRequest
+
+
+def main() -> None:
+    escalations = []
+    dri = build_isambard(seed=99, forward_interval=2.0)
+    dri.soc.escalate = escalations.append  # the NCC 24/7 service
+
+    # a legitimate researcher is active throughout
+    s1 = dri.workflows.story1_pi_onboarding("grace")
+    dri.workflows.story4_ssh_session("grace")
+    print(f"baseline: grace working on {s1.data['project_id']}, "
+          f"{len(dri.login_sshd.sessions())} live SSH session(s)")
+
+    print("\n=== Attack: credential stuffing against the IdP ===")
+    tm = ThreatModel(dri)
+    t = tm.containment_time(attack_rate=2.0, attacker="mallory")
+    print(f"  time from first failed login to containment: {t:.1f}s "
+          f"(forwarding interval 2s + detection + kill switch)")
+    print(f"  escalated to external 24/7 monitoring: "
+          f"{[a.rule for a in escalations]}")
+    print(f"  bastion flags: {sorted(dri.bastion.flagged_principals)}")
+    containment = dri.killswitch.history[-1]
+    print(f"  containment levers run: {containment.actions_run} "
+          f"({sorted(containment.details)})")
+
+    print("\n=== Attack: probing the segmented network ===")
+    outcomes = tm.unauthorised_access_attempts("attacker-host")
+    for target, outcome in outcomes.items():
+        print(f"  attacker-host -> {target:<12} {outcome}")
+
+    print("\n=== Worst case: emergency stop of the entire front door ===")
+    record = dri.killswitch.emergency_stop()
+    print(f"  services stopped: {record.details['services']}")
+    grace = dri.workflows.personas["grace"]
+    ssh = grace.ssh_client.ssh_direct(f"grace.{s1.data['project_id']}")
+    print(f"  even grace's valid certificate is refused now: "
+          f"HTTP {ssh.status} ({ssh.body.get('error_type')})")
+    dri.killswitch.restore()
+    ssh2 = grace.ssh_client.ssh_direct(f"grace.{s1.data['project_id']}")
+    print(f"  after restore: HTTP {ssh2.status} "
+          f"(session {ssh2.body.get('session_id')})")
+
+    dri.ship_logs()
+    print(f"\nSOC totals: {dri.soc.records_ingested} records, "
+          f"{len(dri.soc.alerts)} alerts, contained: {dri.soc.contained}")
+
+    print("\n=== The analyst's incident timeline ===")
+    from repro.siem import build_timeline
+
+    timeline = build_timeline(dri, "mallory")
+    # print the head and tail of the narrative
+    rendered = timeline.render().splitlines()
+    for line in rendered[:8]:
+        print(line)
+    if len(rendered) > 12:
+        print(f"  ... {len(rendered) - 12} more events ...")
+    for line in rendered[-4:]:
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

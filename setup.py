@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works in offline
+environments that lack the `wheel` package (PEP 660 editable installs
+need to build a wheel; `setup.py develop` does not)."""
+
+from setuptools import setup
+
+setup()

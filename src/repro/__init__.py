@@ -1,0 +1,44 @@
+"""repro — Federated SSO and Zero Trust co-design for AI/HPC DRIs.
+
+A production-quality, fully simulated reproduction of the Isambard-AI /
+Isambard 3 identity-and-access-management architecture (Alam et al.,
+SC 2024): federated login through a MyAccessID-style proxy, an identity
+broker minting short-lived RBAC tokens, an SSH certificate authority
+behind HA bastions, Zenith reverse tunnels fronted by a zero-trust edge,
+a Tailscale-style management tailnet, a Slurm/Jupyter cluster as the
+protected resource, and a SIEM/SOC observing everything — wired together
+on a segmented simulated network.
+
+Quickstart::
+
+    from repro import build_isambard
+    dri = build_isambard(seed=42)
+    outcome = dri.workflows.researcher_ssh_session("alice")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-artefact reproduction index.
+"""
+
+__version__ = "1.0.0"
+
+from repro.clock import SimClock
+from repro.audit import AuditEvent, AuditLog, Outcome
+from repro.ids import IdFactory
+
+__all__ = [
+    "SimClock",
+    "AuditEvent",
+    "AuditLog",
+    "Outcome",
+    "IdFactory",
+    "build_isambard",
+    "__version__",
+]
+
+
+def build_isambard(*args, **kwargs):
+    """Construct the full Fig. 1 deployment (lazy import so the base
+    package import stays light)."""
+    from repro.core.deployment import build_isambard as _build
+
+    return _build(*args, **kwargs)

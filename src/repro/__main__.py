@@ -1,0 +1,97 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``     build the deployment and run user stories 1, 4 and 6
+``stories``  run all six user stories and print each step
+``report``   exercise the system, then print the operations/compliance report
+``workshop`` reproduce the RSECon24 45-user workshop
+
+Every command accepts ``--seed N`` (default 42) for a different but
+still deterministic run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import build_isambard
+
+
+def _print_story(result) -> None:
+    mark = "ok" if result.ok else "FAILED"
+    print(f"\n[{result.story}] {mark} (sim {result.elapsed:.3f}s)")
+    for step in result.steps:
+        print(f"  * {step}")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    dri = build_isambard(seed=args.seed)
+    _print_story(dri.workflows.story1_pi_onboarding("alice"))
+    _print_story(dri.workflows.story4_ssh_session("alice"))
+    _print_story(dri.workflows.story6_jupyter("alice"))
+    return 0
+
+
+def cmd_stories(args: argparse.Namespace) -> int:
+    dri = build_isambard(seed=args.seed)
+    wf = dri.workflows
+    s1 = wf.story1_pi_onboarding("alice")
+    _print_story(s1)
+    _print_story(wf.story2_admin_registration("ops1"))
+    _print_story(wf.story3_researcher_setup(s1.data["project_id"], "alice", "bob"))
+    _print_story(wf.story4_ssh_session("bob"))
+    _print_story(wf.story5_privileged_operation("ops1"))
+    _print_story(wf.story6_jupyter("bob"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.reporting import operations_report
+
+    dri = build_isambard(seed=args.seed)
+    wf = dri.workflows
+    s1 = wf.story1_pi_onboarding("alice")
+    wf.story2_admin_registration("ops1")
+    wf.story3_researcher_setup(s1.data["project_id"], "alice", "bob")
+    wf.story4_ssh_session("bob")
+    wf.story5_privileged_operation("ops1")
+    wf.story6_jupyter("bob")
+    stranger = wf.create_researcher("stranger")
+    wf.login(stranger)  # one denial, for the tenet evidence
+    dri.ship_logs()
+    print(operations_report(dri))
+    return 0
+
+
+def cmd_workshop(args: argparse.Namespace) -> int:
+    dri = build_isambard(seed=args.seed)
+    result = dri.workflows.rsecon_workshop(args.trainees)
+    _print_story(result)
+    return 0 if result.ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Simulated Isambard DRI: federated SSO + zero trust (SC24)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="stories 1, 4 and 6")
+    sub.add_parser("stories", help="all six user stories")
+    sub.add_parser("report", help="operations and compliance report")
+    workshop = sub.add_parser("workshop", help="the RSECon24 scale test")
+    workshop.add_argument("--trainees", type=int, default=45)
+    args = parser.parse_args(argv)
+    return {
+        "demo": cmd_demo,
+        "stories": cmd_stories,
+        "report": cmd_report,
+        "workshop": cmd_workshop,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""Structured audit/event stream.
+
+Zero-trust tenet 7 ("collect as much information as possible about the
+current state of assets...") is implemented by making *every* decision
+point in the library emit an :class:`AuditEvent` into an :class:`AuditLog`.
+The SIEM's log forwarders subscribe to the logs of each domain and ship
+them to the SOC, exactly as §III.B/§III.D of the paper describe.
+
+Events are append-only and queryable; tests and the NIST-tenet checker
+treat the audit trail as ground truth for "did an access decision happen,
+and was it observed".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["AuditEvent", "AuditLog", "CombinedAuditView", "Outcome"]
+
+
+class Outcome:
+    """String constants for the ``outcome`` field of an event."""
+
+    SUCCESS = "success"
+    DENIED = "denied"
+    ERROR = "error"
+    INFO = "info"
+
+    ALL = (SUCCESS, DENIED, ERROR, INFO)
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One observed fact: who did what to which resource, and how it went.
+
+    Attributes
+    ----------
+    time:
+        Simulated timestamp (seconds) at which the event occurred.
+    source:
+        The component emitting the event, e.g. ``"broker"`` or
+        ``"bastion-1"``.
+    actor:
+        The principal involved, if known (user id, admin id, ``"anonymous"``).
+    action:
+        Verb, e.g. ``"token.issue"``, ``"ssh.login"``, ``"firewall.deny"``.
+    resource:
+        What was acted on, e.g. ``"login-node-0"`` or a token ``jti``.
+    outcome:
+        One of :class:`Outcome`'s constants.
+    domain:
+        Operating domain the emitting component lives in (MDC/SWS/FDS/SEC).
+    zone:
+        Security zone of the emitting component.
+    attrs:
+        Free-form structured details (never secrets).
+    """
+
+    time: float
+    source: str
+    actor: str
+    action: str
+    resource: str
+    outcome: str
+    domain: str = ""
+    zone: str = ""
+    attrs: Dict[str, object] = field(default_factory=dict)
+    # tamper-evidence: sha256 over (previous event's digest + this event's
+    # canonical form), assigned by the log at emission
+    digest: str = field(default="", compare=False)
+
+    def canonical(self) -> bytes:
+        """Stable byte form of the event content (digest excluded)."""
+        return json.dumps(
+            {
+                "time": self.time, "source": self.source, "actor": self.actor,
+                "action": self.action, "resource": self.resource,
+                "outcome": self.outcome, "domain": self.domain,
+                "zone": self.zone,
+                "attrs": {k: repr(v) for k, v in sorted(self.attrs.items())},
+            },
+            separators=(",", ":"), sort_keys=True,
+        ).encode()
+
+    def matches(
+        self,
+        *,
+        action: Optional[str] = None,
+        actor: Optional[str] = None,
+        outcome: Optional[str] = None,
+        source: Optional[str] = None,
+    ) -> bool:
+        """Field-wise filter used by :meth:`AuditLog.query`."""
+        if action is not None and self.action != action:
+            return False
+        if actor is not None and self.actor != actor:
+            return False
+        if outcome is not None and self.outcome != outcome:
+            return False
+        if source is not None and self.source != source:
+            return False
+        return True
+
+
+class AuditLog:
+    """Append-only event store with live subscribers.
+
+    One log exists per operating domain in the deployment; the SIEM's
+    forwarders subscribe and relay into the SOC.  Subscribers must not
+    raise — a broken forwarder must not take down the emitting service —
+    so callbacks that raise are detached and counted.
+    """
+
+    GENESIS = "0" * 64
+
+    def __init__(self, name: str = "audit") -> None:
+        self.name = name
+        self._events: List[AuditEvent] = []
+        self._subscribers: List[Callable[[AuditEvent], None]] = []
+        self.dropped_subscribers = 0
+        self._head = self.GENESIS  # digest of the latest event
+
+    # ------------------------------------------------------------------
+    def emit(self, event: AuditEvent) -> AuditEvent:
+        """Record ``event``, chain its digest, and fan out to subscribers."""
+        if event.outcome not in Outcome.ALL:
+            raise ValueError(f"unknown outcome {event.outcome!r}")
+        digest = hashlib.sha256(
+            self._head.encode() + event.canonical()
+        ).hexdigest()
+        object.__setattr__(event, "digest", digest)
+        self._head = digest
+        self._events.append(event)
+        dead: List[Callable[[AuditEvent], None]] = []
+        for sub in self._subscribers:
+            try:
+                sub(event)
+            except Exception:
+                dead.append(sub)
+        for sub in dead:
+            self._subscribers.remove(sub)
+            self.dropped_subscribers += 1
+        return event
+
+    def record(
+        self,
+        time: float,
+        source: str,
+        actor: str,
+        action: str,
+        resource: str,
+        outcome: str,
+        *,
+        domain: str = "",
+        zone: str = "",
+        **attrs: object,
+    ) -> AuditEvent:
+        """Convenience wrapper building the event inline."""
+        return self.emit(
+            AuditEvent(
+                time=time,
+                source=source,
+                actor=actor,
+                action=action,
+                resource=resource,
+                outcome=outcome,
+                domain=domain,
+                zone=zone,
+                attrs=dict(attrs),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[AuditEvent], None]) -> None:
+        """Register a live consumer (e.g. a SIEM log forwarder)."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[AuditEvent], None]) -> None:
+        self._subscribers.remove(callback)
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[AuditEvent]:
+        """A copy of all events in emission order."""
+        return list(self._events)
+
+    def query(
+        self,
+        *,
+        action: Optional[str] = None,
+        actor: Optional[str] = None,
+        outcome: Optional[str] = None,
+        source: Optional[str] = None,
+        since: float = float("-inf"),
+    ) -> List[AuditEvent]:
+        """Filtered view of the trail."""
+        return [
+            e
+            for e in self._events
+            if e.time >= since
+            and e.matches(action=action, actor=actor, outcome=outcome, source=source)
+        ]
+
+    def count(self, **kwargs: object) -> int:
+        return len(self.query(**kwargs))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def verify_chain(self) -> Tuple[bool, Optional[int]]:
+        """Recompute the digest chain; returns (intact, first_bad_index).
+
+        Any mutation of a stored event's content — or any removal or
+        reordering — breaks every digest from that point on, so auditors
+        can prove the trail was not rewritten after the fact (tenet 7
+        with teeth).
+        """
+        head = self.GENESIS
+        for i, event in enumerate(self._events):
+            expected = hashlib.sha256(
+                head.encode() + event.canonical()
+            ).hexdigest()
+            if event.digest != expected:
+                return False, i
+            head = expected
+        return True, None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AuditEvent]:
+        return iter(list(self._events))
+
+
+class CombinedAuditView:
+    """Read-only union over several domain logs (time-ordered).
+
+    The deployment keeps one :class:`AuditLog` per operating domain (as
+    the real system keeps per-domain log pipelines); compliance checkers
+    and benches want one queryable trail — this view provides it without
+    copying events at emission time.
+    """
+
+    def __init__(self, logs: Dict[str, AuditLog]) -> None:
+        self._logs = dict(logs)
+
+    def events(self) -> List[AuditEvent]:
+        merged: List[AuditEvent] = []
+        for log in self._logs.values():
+            merged.extend(log.events())
+        merged.sort(key=lambda e: e.time)
+        return merged
+
+    def query(self, **kwargs) -> List[AuditEvent]:
+        merged: List[AuditEvent] = []
+        for log in self._logs.values():
+            merged.extend(log.query(**kwargs))
+        merged.sort(key=lambda e: e.time)
+        return merged
+
+    def count(self, **kwargs) -> int:
+        return sum(log.count(**kwargs) for log in self._logs.values())
+
+    def log(self, name: str) -> AuditLog:
+        return self._logs[name]
+
+    def __len__(self) -> int:
+        return sum(len(log) for log in self._logs.values())

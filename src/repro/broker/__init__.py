@@ -1,0 +1,17 @@
+"""Identity broker, RBAC roles and the short-lived token service."""
+
+from repro.broker.broker import IdentityBroker, UpstreamIdP
+from repro.broker.rbac import CAPABILITIES, Role, capabilities_for, require_capability
+from repro.broker.tokens import IssuedToken, RbacTokenValidator, TokenService
+
+__all__ = [
+    "IdentityBroker",
+    "UpstreamIdP",
+    "Role",
+    "CAPABILITIES",
+    "capabilities_for",
+    "require_capability",
+    "TokenService",
+    "RbacTokenValidator",
+    "IssuedToken",
+]

@@ -1,0 +1,236 @@
+"""The short-lived RBAC token service.
+
+"All authentication and access is based on short-lived role-based access
+tokens" (§III).  :class:`TokenService` is the single minting point: every
+token is audience-scoped to exactly one service, carries a role and its
+capability list, is bounded by a maximum TTL, and is revocable by ``jti``
+or by subject (the per-user kill switch).
+
+Resource servers validate tokens *locally* (signature, expiry, audience,
+issuer via the broker's JWKS) and then consult a revocation oracle —
+either the broker's introspection endpoint over the network or a direct
+callable in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.audit import AuditLog, Outcome
+from repro.clock import SimClock
+from repro.crypto import JwtValidator, encode_jwt
+from repro.crypto.keys import HmacKey, SigningKey
+from repro.broker.rbac import Role, capabilities_for
+from repro.errors import AuthorizationError, TokenRevoked
+from repro.ids import IdFactory
+
+__all__ = ["IssuedToken", "TokenService", "RbacTokenValidator"]
+
+
+@dataclass(frozen=True)
+class IssuedToken:
+    """Record of one minted token (never the token string itself)."""
+
+    jti: str
+    subject: str
+    audience: str
+    role: str
+    project: Optional[str]
+    issued_at: float
+    expires_at: float
+
+
+class TokenService:
+    """Mints and revokes audience-scoped RBAC JWTs.
+
+    Parameters
+    ----------
+    default_ttl, max_ttl:
+        Token lifetimes in seconds.  Requests above ``max_ttl`` are
+        clamped — short-lived tokens are a design invariant, not a hint.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        ids: IdFactory,
+        key: SigningKey | HmacKey,
+        issuer: str,
+        *,
+        audit: Optional[AuditLog] = None,
+        default_ttl: float = 900.0,
+        max_ttl: float = 3600.0,
+    ) -> None:
+        self.clock = clock
+        self.ids = ids
+        self.key = key
+        self.issuer = issuer
+        self.audit = audit if audit is not None else AuditLog("token-service")
+        self.default_ttl = default_ttl
+        self.max_ttl = max_ttl
+        self._issued: Dict[str, IssuedToken] = {}
+        self._revoked: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # minting
+    # ------------------------------------------------------------------
+    def mint(
+        self,
+        subject: str,
+        audience: str,
+        role: Role | str,
+        *,
+        project: Optional[str] = None,
+        ttl: Optional[float] = None,
+        extra_claims: Optional[Dict[str, object]] = None,
+        audit_issue: bool = True,
+    ) -> Tuple[str, IssuedToken]:
+        """Mint a token for ``subject`` to use at ``audience`` as ``role``.
+
+        Capabilities are derived from the role — callers cannot ask for
+        capabilities the role does not grant (least privilege).
+
+        ``audit_issue=False`` suppresses the issuance audit event; it is
+        reserved for the log-shipping infrastructure itself, whose mint
+        events would otherwise feed back into the very stream being
+        shipped (an audit-loop).
+        """
+        role_value = role.value if isinstance(role, Role) else str(role)
+        caps = sorted(capabilities_for(role_value))
+        if not caps:
+            raise AuthorizationError(f"role {role_value!r} grants no capabilities")
+        now = self.clock.now()
+        effective_ttl = min(ttl if ttl is not None else self.default_ttl, self.max_ttl)
+        jti = self.ids.jti()
+        claims: Dict[str, object] = {
+            "iss": self.issuer,
+            "sub": subject,
+            "aud": audience,
+            "iat": now,
+            "exp": now + effective_ttl,
+            "jti": jti,
+            "role": role_value,
+            "caps": caps,
+        }
+        if project is not None:
+            claims["project"] = project
+        claims.update(extra_claims or {})
+        token = encode_jwt(claims, self.key)
+        record = IssuedToken(
+            jti=jti,
+            subject=subject,
+            audience=audience,
+            role=role_value,
+            project=project,
+            issued_at=now,
+            expires_at=now + effective_ttl,
+        )
+        self._issued[jti] = record
+        if audit_issue:
+            self.audit.record(
+                now, "token-service", subject, "rbac.mint", jti, Outcome.SUCCESS,
+                audience=audience, role=role_value, project=project or "",
+                ttl=effective_ttl,
+            )
+        return token, record
+
+    # ------------------------------------------------------------------
+    # revocation
+    # ------------------------------------------------------------------
+    def revoke_jti(self, jti: str) -> bool:
+        if jti not in self._issued:
+            return False
+        self._revoked.add(jti)
+        self.audit.record(
+            self.clock.now(), "token-service", "system", "rbac.revoke", jti,
+            Outcome.INFO,
+        )
+        return True
+
+    def revoke_subject(self, subject: str, *, project: Optional[str] = None) -> int:
+        """Revoke every live token of ``subject`` (optionally one project).
+
+        Returns the number of tokens revoked — the kill switch reports it.
+        """
+        now = self.clock.now()
+        n = 0
+        for jti, rec in self._issued.items():
+            if rec.subject != subject or jti in self._revoked:
+                continue
+            if project is not None and rec.project != project:
+                continue
+            if rec.expires_at <= now:
+                continue
+            self._revoked.add(jti)
+            n += 1
+        if n:
+            self.audit.record(
+                now, "token-service", "system", "rbac.revoke_subject", subject,
+                Outcome.INFO, count=n, project=project or "",
+            )
+        return n
+
+    def is_revoked(self, jti: str) -> bool:
+        return jti in self._revoked
+
+    def issued(self, jti: str) -> Optional[IssuedToken]:
+        return self._issued.get(jti)
+
+    def purge_expired(self, *, grace: float = 3600.0) -> int:
+        """Housekeeping: drop records of tokens expired more than
+        ``grace`` seconds ago (they can never validate again, so keeping
+        them only grows memory on a long-lived broker).  Returns the
+        number purged.  Revocation marks for purged jtis are dropped too.
+        """
+        cutoff = self.clock.now() - grace
+        stale = [jti for jti, rec in self._issued.items()
+                 if rec.expires_at < cutoff]
+        for jti in stale:
+            del self._issued[jti]
+            self._revoked.discard(jti)
+        return len(stale)
+
+    def live_tokens(self, subject: Optional[str] = None) -> List[IssuedToken]:
+        now = self.clock.now()
+        return [
+            rec
+            for jti, rec in self._issued.items()
+            if jti not in self._revoked
+            and rec.expires_at > now
+            and (subject is None or rec.subject == subject)
+        ]
+
+
+class RbacTokenValidator:
+    """Resource-server-side validation of RBAC tokens.
+
+    Wraps :class:`~repro.crypto.jwt.JwtValidator` (signature, expiry,
+    issuer, audience) and adds the revocation check via ``revocation``,
+    a callable ``jti -> bool``.  In the deployment that callable is either
+    ``token_service.is_revoked`` (co-located) or a network introspection
+    round-trip (remote resources).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        issuer: str,
+        audience: str,
+        keys,
+        revocation: Callable[[str], bool],
+        *,
+        leeway: float = 5.0,
+    ) -> None:
+        self._jwt = JwtValidator(
+            clock, issuer, audience, keys, leeway=leeway,
+            required_claims=("sub", "role", "caps", "jti"),
+        )
+        self._revocation = revocation
+
+    def validate(self, token: str) -> Dict[str, object]:
+        claims = self._jwt.validate(token)
+        jti = str(claims["jti"])
+        if self._revocation(jti):
+            raise TokenRevoked(f"token {jti} has been revoked")
+        return claims

@@ -1,0 +1,172 @@
+"""Data Centre Inventory Manager (DCIM): environmental telemetry.
+
+§III.B: SWS gathers "all system specific logs from the HPE environments
+... and environmental monitors such as the Data Centre Inventory Manager
+(DCIM)".  The simulated MDC is a self-contained pod with power and
+liquid cooling; the monitor samples:
+
+* per-pod **power draw**, derived from node-pool utilisation (idle vs.
+  busy wattage; Isambard-AI's envelope is "under 5 MW");
+* **coolant supply temperature**, tracking load with noise;
+* **coolant flow**, which faults can drop.
+
+Samples are emitted into the MDC audit stream on a timer, so they ride
+the same forwarder pipeline to the SOC as security events; threshold
+breaches emit ``dcim.threshold`` records that the SOC's environment rule
+alerts on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.audit import AuditLog, Outcome
+from repro.clock import SimClock
+from repro.cluster.nodes import NodePool
+
+__all__ = ["DcimSample", "DcimMonitor"]
+
+
+@dataclass(frozen=True)
+class DcimSample:
+    time: float
+    power_mw: float
+    coolant_supply_c: float
+    coolant_flow_lpm: float
+    utilisation: float
+
+
+class DcimMonitor:
+    """Environmental telemetry for one modular data centre.
+
+    Parameters
+    ----------
+    pool:
+        The node pool whose utilisation drives the power model.
+    idle_kw, busy_kw:
+        Per-node draw when free vs. allocated (Grace-Hopper superchips
+        draw on the order of single-digit kW under load).
+    power_budget_mw:
+        The pod's envelope; exceeding it is a threshold breach.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        pool: NodePool,
+        *,
+        audit: Optional[AuditLog] = None,
+        rng: Optional[random.Random] = None,
+        idle_kw: float = 0.8,
+        busy_kw: float = 2.8,
+        overhead_mw: float = 0.35,       # cooling pumps, network, storage
+        power_budget_mw: float = 5.0,
+        coolant_base_c: float = 24.0,
+        coolant_max_c: float = 45.0,
+        nominal_flow_lpm: float = 3_000.0,
+        sample_interval: float = 60.0,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.pool = pool
+        self.audit = audit if audit is not None else AuditLog(f"{name}-audit")
+        self.rng = rng if rng is not None else random.Random(0)
+        self.idle_kw = idle_kw
+        self.busy_kw = busy_kw
+        self.overhead_mw = overhead_mw
+        self.power_budget_mw = power_budget_mw
+        self.coolant_base_c = coolant_base_c
+        self.coolant_max_c = coolant_max_c
+        self.nominal_flow_lpm = nominal_flow_lpm
+        self.sample_interval = sample_interval
+        self.samples: List[DcimSample] = []
+        self.breaches: List[str] = []
+        self._flow_fault = False
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def inject_flow_fault(self) -> None:
+        """Simulate a coolant pump failure (for detection tests)."""
+        self._flow_fault = True
+
+    def clear_flow_fault(self) -> None:
+        self._flow_fault = False
+
+    # ------------------------------------------------------------------
+    def sample(self) -> DcimSample:
+        """Take one reading and audit it (plus any threshold breach)."""
+        nodes = self.pool.nodes()
+        busy = sum(1 for n in nodes if n.allocated_to is not None)
+        idle = len(nodes) - busy
+        power_mw = (busy * self.busy_kw + idle * self.idle_kw) / 1000.0 \
+            + self.overhead_mw
+        power_mw *= 1.0 + self.rng.uniform(-0.02, 0.02)
+        utilisation = busy / len(nodes) if nodes else 0.0
+        flow = (0.25 if self._flow_fault else 1.0) * self.nominal_flow_lpm \
+            * (1.0 + self.rng.uniform(-0.03, 0.03))
+        # supply temperature rises with load, and sharply when flow drops
+        temp = self.coolant_base_c + 12.0 * utilisation
+        if self._flow_fault:
+            temp += 15.0
+        temp *= 1.0 + self.rng.uniform(-0.01, 0.01)
+
+        s = DcimSample(
+            time=self.clock.now(),
+            power_mw=power_mw,
+            coolant_supply_c=temp,
+            coolant_flow_lpm=flow,
+            utilisation=utilisation,
+        )
+        self.samples.append(s)
+        self.audit.record(
+            s.time, self.name, "dcim", "dcim.sample", self.pool.nodes()[0].kind
+            if nodes else "empty",
+            Outcome.INFO, power_mw=round(power_mw, 3),
+            coolant_c=round(temp, 1), flow_lpm=round(flow),
+            utilisation=round(utilisation, 3),
+        )
+        self._check_thresholds(s)
+        return s
+
+    def _check_thresholds(self, s: DcimSample) -> None:
+        breaches = []
+        if s.power_mw > self.power_budget_mw:
+            breaches.append(
+                f"power {s.power_mw:.2f} MW exceeds budget "
+                f"{self.power_budget_mw:.1f} MW")
+        if s.coolant_supply_c > self.coolant_max_c:
+            breaches.append(
+                f"coolant supply {s.coolant_supply_c:.1f}C exceeds "
+                f"{self.coolant_max_c:.0f}C")
+        if s.coolant_flow_lpm < 0.5 * self.nominal_flow_lpm:
+            breaches.append(
+                f"coolant flow {s.coolant_flow_lpm:.0f} lpm below half nominal")
+        for breach in breaches:
+            self.breaches.append(breach)
+            self.audit.record(
+                s.time, self.name, "dcim", "dcim.threshold", breach,
+                Outcome.ERROR,
+            )
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm periodic sampling on the simulated clock."""
+        if self._running:
+            return
+        self._running = True
+        self.clock.call_later(self.sample_interval, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sample()
+        self.clock.call_later(self.sample_interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def peak_power_mw(self) -> float:
+        return max((s.power_mw for s in self.samples), default=0.0)

@@ -1,0 +1,176 @@
+"""Jupyter authenticator and spawner on the cluster (user story 6).
+
+"The Jupyter authenticator validates this token against the OpenID
+Connect endpoint from the identity broker in FDS.  If successful, a
+Jupyter user session is spawned on a compute node."
+
+The authenticator therefore performs **two** checks on the RBAC token it
+receives in the ``X-Isambard-Token`` header:
+
+1. local validation — signature (broker JWKS provisioned at build time),
+   issuer, audience, expiry, capability;
+2. a live round-trip to the broker's introspection endpoint (MDC → FDS,
+   an allowed outbound flow), which also catches revocation — per-session
+   enforcement, tenet 6.
+
+The spawner then places the session on a free compute node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.audit import AuditLog, Outcome
+from repro.broker.rbac import require_capability
+from repro.broker.tokens import RbacTokenValidator
+from repro.clock import SimClock
+from repro.cluster.nodes import NodePool
+from repro.errors import AuthenticationError, SchedulerError, TokenRevoked
+from repro.ids import IdFactory
+from repro.net.http import HttpRequest, HttpResponse, Service, route
+from repro.tunnels.zenith import TOKEN_HEADER
+
+__all__ = ["JupyterSession", "JupyterService"]
+
+
+@dataclass
+class JupyterSession:
+    session_id: str
+    subject: str
+    unix_account: str
+    node_id: str
+    started_at: float
+    expires_at: float
+    closed: bool = False
+
+    def active(self, now: float) -> bool:
+        return not self.closed and now < self.expires_at
+
+
+class JupyterService(Service):
+    """Authenticator + spawner, fronted by the Zenith tunnel.
+
+    Parameters
+    ----------
+    validator:
+        Local RBAC validator for this service's audience.
+    broker_endpoint:
+        Where to introspect tokens (set to ``None`` to disable the
+        round-trip — used by the ablation bench to show what it buys).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        ids: IdFactory,
+        validator: RbacTokenValidator,
+        pool: NodePool,
+        *,
+        audit: Optional[AuditLog] = None,
+        broker_endpoint: Optional[str] = "broker",
+        session_ttl: float = 4 * 3600.0,
+    ) -> None:
+        super().__init__(name)
+        self.clock = clock
+        self.ids = ids
+        self.validator = validator
+        self.pool = pool
+        self.audit = audit if audit is not None else AuditLog(f"{name}-audit")
+        self.broker_endpoint = broker_endpoint
+        self.session_ttl = session_ttl
+        self._sessions: Dict[str, JupyterSession] = {}
+        self.spawns = 0
+
+    # ------------------------------------------------------------------
+    def _introspect(self, token: str) -> None:
+        """Round-trip to the broker's OIDC endpoint (catches revocation)."""
+        if self.broker_endpoint is None:
+            return
+        resp = self.call(
+            self.broker_endpoint,
+            HttpRequest("POST", "/introspect", body={"token": token}),
+        )
+        if not resp.ok or resp.body.get("active") is not True:
+            raise TokenRevoked("broker introspection reports token inactive")
+
+    @route("GET", "/")
+    def open_notebook(self, request: HttpRequest) -> HttpResponse:
+        """The authenticated entry point: validate the header token and
+        spawn (or reuse) the user's notebook session."""
+        token = request.headers.get(TOKEN_HEADER)
+        now = self.clock.now()
+        if not token:
+            self.log_event("anonymous", "jupyter.auth", "",
+                              Outcome.DENIED, reason="no-token")
+            raise AuthenticationError(
+                "Jupyter requires the broker token header via Zenith"
+            )
+        claims = self.validator.validate(token)
+        require_capability(claims, "jupyter.use")
+        self._introspect(token)
+        subject = str(claims["sub"])
+        account = str(claims.get("unix_account", ""))
+
+        session = self._live_session(subject)
+        if session is None:
+            free = self.pool.free_nodes()
+            if not free:
+                self.log_event(subject, "jupyter.spawn", "",
+                                  Outcome.ERROR, reason="no-free-nodes")
+                raise SchedulerError("no free compute node for the notebook")
+            node = free[0]
+            session = JupyterSession(
+                session_id=self.ids.next("jup"),
+                subject=subject,
+                unix_account=account,
+                node_id=node.node_id,
+                started_at=now,
+                expires_at=min(now + self.session_ttl, float(claims["exp"])
+                               + self.session_ttl),
+            )
+            node.allocated_to = session.session_id
+            self._sessions[session.session_id] = session
+            self.spawns += 1
+            self.log_event(subject, "jupyter.spawn",
+                              session.session_id, Outcome.SUCCESS,
+                              node=node.node_id, account=account)
+        return HttpResponse.json(
+            {
+                "notebook": "ready",
+                "session_id": session.session_id,
+                "node": session.node_id,
+                "unix_account": session.unix_account,
+                "expires_at": session.expires_at,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _live_session(self, subject: str) -> Optional[JupyterSession]:
+        now = self.clock.now()
+        for s in self._sessions.values():
+            if s.subject == subject and s.active(now):
+                return s
+        return None
+
+    def sessions(self, *, active_only: bool = True) -> List[JupyterSession]:
+        now = self.clock.now()
+        return [s for s in self._sessions.values()
+                if not active_only or s.active(now)]
+
+    def close_session(self, session_id: str) -> bool:
+        s = self._sessions.get(session_id)
+        if s is None or s.closed:
+            return False
+        s.closed = True
+        self.pool.release(s.session_id)
+        return True
+
+    def close_sessions_for(self, subject: str) -> int:
+        n = 0
+        for s in list(self._sessions.values()):
+            if s.subject == subject and not s.closed:
+                self.close_session(s.session_id)
+                n += 1
+        return n

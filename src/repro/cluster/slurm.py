@@ -1,0 +1,187 @@
+"""A Slurm-style job scheduler for the simulated cluster.
+
+Login nodes run "essential services such as Slurm (job management and
+resource scheduler)".  The scheduler here implements the pieces the IAM
+co-design touches:
+
+* jobs are submitted **by a UNIX account within an SSH session** — no
+  session, no job;
+* each job is charged to its project's allocation via the portal
+  (time- and resource-limited projects, user story 1);
+* FIFO backfill over a :class:`~repro.cluster.nodes.NodePool`, with
+  completions driven by simulated-clock events;
+* revoked accounts' pending jobs are cancellable in one sweep (the
+  kill-switch follow-through on the batch plane).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.audit import AuditLog, Outcome
+from repro.clock import SimClock
+from repro.cluster.nodes import NodePool
+from repro.errors import QuotaExceeded, SchedulerError
+from repro.ids import IdFactory
+
+__all__ = ["JobState", "Job", "SlurmScheduler"]
+
+
+class JobState(str, enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    job_id: str
+    account: str        # unix account (per-project)
+    project_id: str
+    nodes: int
+    walltime: float     # seconds
+    state: JobState = JobState.PENDING
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def gpu_hours(self, gpus_per_node: int = 4) -> float:
+        return self.nodes * gpus_per_node * self.walltime / 3600.0
+
+
+class SlurmScheduler:
+    """FIFO scheduler with allocation accounting.
+
+    Parameters
+    ----------
+    charge:
+        Callable ``(project_id, gpu_hours) -> None`` that raises
+        :class:`~repro.errors.QuotaExceeded` when the allocation cannot
+        cover the job — wired to the portal's ``record_usage``.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        ids: IdFactory,
+        pool: NodePool,
+        charge: Callable[[str, float], None],
+        *,
+        audit: Optional[AuditLog] = None,
+        max_walltime: float = 24 * 3600.0,
+        charge_units_per_node: int = 4,
+    ) -> None:
+        self.clock = clock
+        self.ids = ids
+        self.pool = pool
+        self.charge = charge
+        self.audit = audit if audit is not None else AuditLog("slurm-audit")
+        self.max_walltime = max_walltime
+        # allocation units consumed per node-hour: GPUs on Isambard-AI
+        # (Grace-Hopper), plain node-hours on Isambard 3 (Grace-Grace)
+        self.charge_units_per_node = charge_units_per_node
+        self._jobs: Dict[str, Job] = {}
+        self._queue: List[str] = []
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, account: str, project_id: str, *, nodes: int = 1, walltime: float = 3600.0
+    ) -> Job:
+        """Queue a job; charges the allocation up front (reservation)."""
+        if nodes < 1:
+            raise SchedulerError("a job needs at least one node")
+        if walltime <= 0 or walltime > self.max_walltime:
+            raise SchedulerError(
+                f"walltime must be in (0, {self.max_walltime}] seconds"
+            )
+        if nodes > len(self.pool.nodes()):
+            raise SchedulerError(
+                f"requested {nodes} nodes; cluster has {len(self.pool.nodes())}"
+            )
+        job = Job(
+            job_id=self.ids.next("job"),
+            account=account,
+            project_id=project_id,
+            nodes=nodes,
+            walltime=walltime,
+            submitted_at=self.clock.now(),
+        )
+        # reserve allocation before the job is ever eligible to run
+        self.charge(project_id, job.gpu_hours(self.charge_units_per_node))
+        self._jobs[job.job_id] = job
+        self._queue.append(job.job_id)
+        self.audit.record(
+            self.clock.now(), "slurm", account, "job.submit", job.job_id,
+            Outcome.SUCCESS, project=project_id, nodes=nodes, walltime=walltime,
+        )
+        self._schedule()
+        return job
+
+    def _schedule(self) -> None:
+        """Start queued jobs while nodes are free (FIFO, no skip)."""
+        while self._queue:
+            job = self._jobs[self._queue[0]]
+            if job.state != JobState.PENDING:
+                self._queue.pop(0)
+                continue
+            if len(self.pool.free_nodes()) < job.nodes:
+                return
+            self._queue.pop(0)
+            self.pool.allocate(job.nodes, job.job_id)
+            job.state = JobState.RUNNING
+            job.started_at = self.clock.now()
+            self.clock.call_later(job.walltime, lambda j=job: self._complete(j))
+            self.audit.record(
+                self.clock.now(), "slurm", job.account, "job.start", job.job_id,
+                Outcome.INFO,
+            )
+
+    def _complete(self, job: Job) -> None:
+        if job.state != JobState.RUNNING:
+            return
+        job.state = JobState.COMPLETED
+        job.finished_at = self.clock.now()
+        self.pool.release(job.job_id)
+        self.audit.record(
+            self.clock.now(), "slurm", job.account, "job.complete", job.job_id,
+            Outcome.SUCCESS,
+        )
+        self._schedule()
+
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str, *, by: str = "user") -> bool:
+        job = self._jobs.get(job_id)
+        if job is None or job.state not in (JobState.PENDING, JobState.RUNNING):
+            return False
+        if job.state == JobState.RUNNING:
+            self.pool.release(job.job_id)
+        job.state = JobState.CANCELLED
+        job.finished_at = self.clock.now()
+        self.audit.record(
+            self.clock.now(), "slurm", by, "job.cancel", job.job_id, Outcome.INFO,
+        )
+        self._schedule()
+        return True
+
+    def cancel_account(self, account: str, *, by: str = "killswitch") -> int:
+        """Cancel everything belonging to one UNIX account."""
+        n = 0
+        for job in list(self._jobs.values()):
+            if job.account == account and job.state in (JobState.PENDING, JobState.RUNNING):
+                self.cancel(job.job_id, by=by)
+                n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self, state: Optional[JobState] = None) -> List[Job]:
+        return [j for j in self._jobs.values() if state is None or j.state == state]
+
+    def queue_length(self) -> int:
+        return sum(1 for j in self._jobs.values() if j.state == JobState.PENDING)

@@ -1,0 +1,588 @@
+"""The full Fig. 1 deployment: every domain, zone, service and flow.
+
+:func:`build_isambard` assembles the complete simulated Isambard DRI:
+
+* **EXTERNAL** — institutional IdPs (eduGAIN), the MyAccessID proxy,
+  user devices, and the Cloudflare-style edge;
+* **FDS** (public cloud, Access zone) — identity broker, user/project
+  portal, identity-of-last-resort IdP, admin IdP, SSH CA, Zenith server;
+* **SWS** (NCC data centre) — HA bastion set (port 22 only), log
+  shipper, tailnet coordinator;
+* **MDC** — login-node sshd, Jupyter authenticator/spawner + Zenith
+  client (HPC zone), management node (Management zone), compute pool,
+  parallel filesystem (Data Storage zone);
+* **SEC** (separate cloud account, Security zone) — the SOC, fed by the
+  log forwarders, driving the externally managed kill switch.
+
+The firewall opens exactly the flows the paper draws; everything else is
+default-deny.  All cross-boundary traffic must be encrypted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.audit import AuditLog, CombinedAuditView
+from repro.broker import IdentityBroker, RbacTokenValidator, Role
+from repro.clock import SimClock
+from repro.cluster import (
+    JupyterService,
+    ManagementNode,
+    NodePool,
+    ParallelFilesystem,
+    SlurmScheduler,
+)
+from repro.federation import (
+    AssurancePolicy,
+    CloudAdminIdP,
+    EduGain,
+    EntityCategory,
+    InstitutionalIdP,
+    LastResortIdP,
+    LevelOfAssurance,
+    MyAccessID,
+)
+from repro.ids import IdFactory
+from repro.net import Firewall, Network, OperatingDomain, Service, Zone
+from repro.oidc import make_url
+from repro.policy import PolicyEngine, standard_zero_trust_rules
+from repro.portal import UserPortal
+from repro.siem import (
+    KillSwitchController,
+    LogForwarder,
+    SecurityOperationsCentre,
+)
+from repro.sshca import BastionSet, LoginNodeSshd, SshCertificateAuthority
+from repro.tunnels import CloudflareEdge, TailnetCoordinator, ZenithClient, ZenithServer
+
+__all__ = ["IsambardDeployment", "build_isambard", "DEFAULT_IDPS"]
+
+# (endpoint, entity host, federation, display name, LoA, categories)
+DEFAULT_IDPS = [
+    ("idp-bristol", "idp.bristol.ac.uk", "UKAMF", "University of Bristol",
+     LevelOfAssurance.CAPPUCCINO, (EntityCategory.RESEARCH_AND_SCHOLARSHIP,)),
+    ("idp-tartu", "idp.ut.ee", "TAAT", "University of Tartu",
+     LevelOfAssurance.CAPPUCCINO, (EntityCategory.RESEARCH_AND_SCHOLARSHIP,
+                                   EntityCategory.SIRTFI)),
+    ("idp-zurich", "idp.ethz.ch", "SWITCHaai", "ETH Zurich",
+     LevelOfAssurance.ESPRESSO, (EntityCategory.RESEARCH_AND_SCHOLARSHIP,)),
+    ("idp-webshop", "idp.webshop.example", "SomeFed", "Webshop Logins Inc",
+     LevelOfAssurance.LOW, ()),  # filtered out by the assurance policy
+]
+
+
+@dataclass
+class IsambardDeployment:
+    """Handle to the whole running system.  Built by :func:`build_isambard`."""
+
+    clock: SimClock
+    ids: IdFactory
+    network: Network
+    logs: Dict[str, AuditLog]
+    audit: CombinedAuditView
+    # federation
+    edugain: EduGain
+    idps: Dict[str, InstitutionalIdP]
+    myaccessid: MyAccessID
+    lastresort: LastResortIdP
+    admin_idp: CloudAdminIdP
+    # FDS
+    broker: IdentityBroker
+    portal: UserPortal
+    ssh_ca: SshCertificateAuthority
+    zenith: ZenithServer
+    edge: CloudflareEdge
+    # SWS
+    bastion: BastionSet
+    tailnet: TailnetCoordinator
+    # MDC — Isambard-AI phase 1 (Grace-Hopper)
+    pool: NodePool
+    login_sshd: LoginNodeSshd
+    jupyter: JupyterService
+    zenith_client: ZenithClient
+    mgmt_node: ManagementNode
+    slurm: SlurmScheduler
+    filesystem: ParallelFilesystem
+    # SEC
+    soc: SecurityOperationsCentre
+    killswitch: KillSwitchController
+    forwarders: List[LogForwarder]
+    # cross-cutting
+    policy_engine: PolicyEngine
+    workflows: "object" = None  # set post-construction (core.workflows)
+    # MDC — Isambard 3 (Grace-Grace CPU cluster); None unless built
+    pool_i3: Optional[NodePool] = None
+    login_sshd_i3: Optional[LoginNodeSshd] = None
+    mgmt_node_i3: Optional[ManagementNode] = None
+    slurm_i3: Optional[SlurmScheduler] = None
+    # environmental telemetry (created idle; call .start() to arm sampling)
+    dcim: Optional["object"] = None
+    # SPIRE-style workload identity authority for the trust domain
+    spire: Optional["object"] = None
+
+    # ------------------------------------------------------------------
+    def validator_for(self, audience: str) -> RbacTokenValidator:
+        """Resource-side RBAC validator against the broker's keys."""
+        return RbacTokenValidator(
+            self.clock, self.broker.issuer, audience,
+            self.broker.jwks, self.broker.tokens.is_revoked,
+        )
+
+    def refresh_tunnels(self) -> None:
+        """Heartbeat the Zenith tunnel registrations (the deployment's
+        periodic job; call after long simulated-time jumps)."""
+        token, _ = self.broker.tokens.mint(
+            "mdc-zenith-client", "zenith", Role.SERVICE, ttl=300
+        )
+        self.zenith_client.register_with("zenith", "jupyter", token)
+
+    def ship_logs(self) -> None:
+        """Force-flush every forwarder (benches call this before reading
+        SOC state instead of waiting for the timers)."""
+        for fw in self.forwarders:
+            fw.flush()
+
+    def inventory_summary(self) -> Dict[str, int]:
+        return {
+            "endpoints": len(self.network.endpoints()),
+            "firewall_rules": len(self.network.firewall.rules()),
+            "assets": len(self.soc.inventory.assets()),
+            "idps_in_edugain": len(self.edugain),
+        }
+
+
+def _open_fig1_flows(firewall: Firewall) -> None:
+    """Exactly the inter-domain flows Fig. 1 draws; default-deny tail."""
+    E, M, S, F, C = (OperatingDomain.EXTERNAL, OperatingDomain.MDC,
+                     OperatingDomain.SWS, OperatingDomain.FDS,
+                     OperatingDomain.SEC)
+    # users and IdPs on the internet talk to each other (browser <-> IdP)
+    firewall.allow("internet-https", src_domain=E, dst_domain=E, port=443)
+    # users reach the Access zone (via the Cloudflare-protected endpoints)
+    firewall.allow("internet-to-access-zone", src_domain=E, dst_domain=F,
+                   dst_zone=Zone.ACCESS, port=443)
+    # the broker dials out to external IdPs (MyAccessID token endpoint)
+    firewall.allow("fds-to-external-idps", src_domain=F, dst_domain=E, port=443)
+    # port 22 is the ONLY opening from the internet into SWS
+    firewall.allow("internet-ssh-to-bastion", src_domain=E, dst_domain=S,
+                   dst_zone=Zone.ACCESS, port=22)
+    # bastion jumps into the MDC login plane
+    firewall.allow("bastion-to-login-nodes", src_domain=S, src_zone=Zone.ACCESS,
+                   dst_domain=M, dst_zone=Zone.HPC, port=22)
+    # MDC services dial OUT to FDS (zenith reverse tunnel, introspection)
+    firewall.allow("mdc-outbound-to-fds", src_domain=M, src_zone=Zone.HPC,
+                   dst_domain=F, dst_zone=Zone.ACCESS, port=443)
+    # admin devices reach the tailnet coordinator in SWS
+    firewall.allow("internet-to-tailnet", src_domain=E, dst_domain=S,
+                   dst_zone=Zone.MANAGEMENT, port=443)
+    # the tailnet relay reaches MDC management plane
+    firewall.allow("tailnet-to-mdc-mgmt", src_domain=S, src_zone=Zone.MANAGEMENT,
+                   dst_domain=M, dst_zone=Zone.MANAGEMENT, port=443)
+    # log shipping into the Security zone
+    firewall.allow("sws-logs-to-sec", src_domain=S, dst_domain=C,
+                   dst_zone=Zone.SECURITY, port=443)
+    firewall.allow("fds-logs-to-sec", src_domain=F, dst_domain=C,
+                   dst_zone=Zone.SECURITY, port=443)
+    # security administrators reach the SOC only through the tailnet
+    # relay ("access only via ... time-limited security roles", §III)
+    firewall.allow("tailnet-to-soc", src_domain=S, src_zone=Zone.MANAGEMENT,
+                   dst_domain=C, dst_zone=Zone.SECURITY, port=443)
+    # nothing else: no internet->MDC, no FDS->MDC, no anything->SEC besides
+    # logs, no MDC->SEC (MDC logs route via SWS), no SEC-> anywhere.
+
+
+def build_isambard(
+    seed: int = 42,
+    *,
+    segmented: bool = True,
+    rbac_default_ttl: float = 900.0,
+    rbac_max_ttl: float = 3600.0,
+    ssh_cert_ttl: float = 4 * 3600.0,
+    bastion_vms: int = 2,
+    ai_nodes: int = 168,
+    with_isambard3: bool = True,
+    hpc_nodes: int = 368,
+    forward_interval: float = 5.0,
+    auto_contain: bool = True,
+    idp_specs=DEFAULT_IDPS,
+) -> IsambardDeployment:
+    """Construct the full simulated Isambard DRI.
+
+    Parameters mirror the ablation axes of the benchmarks: turn
+    ``segmented`` off for the flat-network baseline, shrink
+    ``rbac_default_ttl`` for the token-lifetime sweep, vary
+    ``bastion_vms`` for the HA study, and ``forward_interval`` for
+    detection-latency studies.
+    """
+    clock = SimClock(start=0.0)
+    ids = IdFactory(seed=seed)
+    logs = {
+        domain: AuditLog(domain)
+        for domain in ("external", "fds", "sws", "mdc", "sec", "network")
+    }
+    audit = CombinedAuditView(logs)
+
+    firewall = Firewall(segmented=segmented)
+    _open_fig1_flows(firewall)
+    network = Network(clock, firewall=firewall, audit=logs["network"])
+
+    # ------------------------------------------------------------- federation
+    edugain = EduGain()
+    idps: Dict[str, InstitutionalIdP] = {}
+    for endpoint, host, federation, display, loa, categories in idp_specs:
+        idp = InstitutionalIdP(
+            endpoint, f"https://{host}", clock, ids,
+            loa=loa, categories=categories, audit=logs["external"],
+        )
+        edugain.register_idp(idp, federation=federation, display_name=display)
+        network.attach(idp, OperatingDomain.EXTERNAL, Zone.INTERNET)
+        idps[endpoint] = idp
+
+    myaccessid = MyAccessID(
+        "myaccessid", clock, ids, edugain,
+        policy=AssurancePolicy(), audit=logs["external"],
+    )
+    network.attach(myaccessid, OperatingDomain.EXTERNAL, Zone.INTERNET)
+
+    lastresort = LastResortIdP("idp-lastresort", clock, ids, audit=logs["fds"])
+    admin_idp = CloudAdminIdP("idp-admin", clock, ids, audit=logs["fds"])
+    network.attach(lastresort, OperatingDomain.FDS, Zone.ACCESS)
+    network.attach(admin_idp, OperatingDomain.FDS, Zone.ACCESS)
+
+    # ------------------------------------------------------------------ FDS
+    broker = IdentityBroker(
+        "broker", clock, ids, audit=logs["fds"],
+        rbac_default_ttl=rbac_default_ttl, rbac_max_ttl=rbac_max_ttl,
+    )
+    broker.ssh_cert_ttl = ssh_cert_ttl
+    network.attach(broker, OperatingDomain.FDS, Zone.ACCESS)
+    callback = make_url("broker", "/login/callback")
+    for upstream_id, label, provider, kind in [
+        ("myaccessid", "University Login (MyAccessID)", myaccessid, "federated"),
+        ("lastresort", "Isambard Account (Identity of Last Resort)",
+         lastresort, "lastresort"),
+        ("admin", "Isambard Team (Administrators)", admin_idp, "admin"),
+    ]:
+        cfg = provider.register_client(
+            f"isambard-broker-{upstream_id}", [callback], confidential=True
+        )
+        broker.add_upstream(upstream_id, label, provider.name, cfg, kind=kind)
+
+    def validator_for(audience: str) -> RbacTokenValidator:
+        return RbacTokenValidator(
+            clock, broker.issuer, audience, broker.jwks, broker.tokens.is_revoked
+        )
+
+    # cluster objects exist before the portal's revocation hook references them
+    pool = NodePool("gh", "grace-hopper", ai_nodes, gpus_per_node=4)
+    login_sshd: LoginNodeSshd  # defined below; hook closes over names
+
+    portal = UserPortal(
+        "portal", clock, ids, validator_for("portal"), audit=logs["fds"],
+        on_revoke=lambda uid, project, account: _revoke_everywhere(
+            uid, project, account
+        ),
+    )
+    network.attach(portal, OperatingDomain.FDS, Zone.ACCESS)
+
+    ssh_ca = SshCertificateAuthority(
+        "ssh-ca", clock, validator_for("ssh-ca"), audit=logs["fds"],
+        cert_ttl=ssh_cert_ttl,
+    )
+    network.attach(ssh_ca, OperatingDomain.FDS, Zone.ACCESS)
+
+    zenith = ZenithServer(
+        "zenith", clock, ids, validator_for("zenith"), audit=logs["fds"],
+        heartbeat_ttl=24 * 3600.0,
+    )
+    network.attach(zenith, OperatingDomain.FDS, Zone.ACCESS)
+    zenith_cfg = broker.register_client(
+        "zenith-auth", [make_url("zenith", "/callback")], confidential=True
+    )
+    zenith.configure_rp(zenith_cfg)
+
+    edge = CloudflareEdge("edge", clock, audit=logs["external"])
+    network.attach(edge, OperatingDomain.EXTERNAL, Zone.INTERNET)
+    edge.register_origin("zenith", zenith)
+    edge.register_origin("broker", broker)
+    edge.register_origin("portal", portal)
+
+    # ------------------------------------------------------------------ SWS
+    bastion = BastionSet("bastion", clock, audit=logs["sws"], vm_count=bastion_vms)
+    network.attach(bastion, OperatingDomain.SWS, Zone.ACCESS)
+
+    tailnet = TailnetCoordinator(
+        "tailnet", clock, ids, validator_for("tailnet"), audit=logs["sws"]
+    )
+    network.attach(tailnet, OperatingDomain.SWS, Zone.MANAGEMENT)
+
+    shipper = Service("log-shipper")
+    network.attach(shipper, OperatingDomain.SWS, Zone.ACCESS)
+
+    # dynamic policy (tenet 4): posture rules enforced at the management
+    # plane on top of token validation
+    policy_engine = standard_zero_trust_rules(PolicyEngine())
+
+    # ------------------------------------------------------------------ MDC
+    def account_exists(username: str) -> bool:
+        return portal.unix_accounts.lookup(username) is not None
+
+    login_sshd = LoginNodeSshd(
+        "login-node", clock, ssh_ca.ca_public_key(), account_exists,
+        audit=logs["mdc"],
+    )
+    login_sshd.install_host_certificate(ssh_ca.provision_host_certificate(
+        "login-node", login_sshd.host_keypair.public_jwk()))
+    network.attach(login_sshd, OperatingDomain.MDC, Zone.HPC)
+
+    # the authenticator runs in the MDC: it cannot share the broker's
+    # in-memory revocation set, so its *local* validation is JWKS-only
+    # and revocation is caught by the introspection round-trip (§IV.A.6)
+    jupyter_validator = RbacTokenValidator(
+        clock, broker.issuer, "jupyter", broker.jwks, lambda jti: False
+    )
+    jupyter = JupyterService(
+        "jupyter", clock, ids, jupyter_validator, pool,
+        audit=logs["mdc"], broker_endpoint="broker",
+    )
+    network.attach(jupyter, OperatingDomain.MDC, Zone.HPC)
+
+    zenith_client = ZenithClient("zenith-client", "jupyter")
+    network.attach(zenith_client, OperatingDomain.MDC, Zone.HPC)
+
+    mgmt_node = ManagementNode(
+        "mgmt-node", clock, validator_for("mgmt-node"), pool,
+        audit=logs["mdc"], policy=policy_engine,
+    )
+    network.attach(mgmt_node, OperatingDomain.MDC, Zone.MANAGEMENT)
+    tailnet.expose_endpoint("mgmt-node", "mgmt")
+    tailnet.acl.allow("admin-device", "mgmt", 443)
+    # the security path: security-role devices reach the SOC, and only it
+    tailnet.expose_endpoint("soc", "soc")
+    tailnet.acl.allow("security-device", "soc", 443)
+
+    slurm = SlurmScheduler(
+        clock, ids, pool, portal.record_usage, audit=logs["mdc"]
+    )
+
+    def account_project(username: str):
+        account = portal.unix_accounts.lookup(username)
+        return account.project_id if account else None
+
+    filesystem = ParallelFilesystem(account_project)
+
+    # --- Isambard 3: the Grace-Grace national tier-2 HPC platform --------
+    # Same IAM fabric (one CA, one broker, one portal) protecting a second
+    # cluster in the same MDC compound — exactly the paper's deployment.
+    pool_i3 = login_sshd_i3 = mgmt_node_i3 = slurm_i3 = None
+    if with_isambard3:
+        pool_i3 = NodePool("gg", "grace-grace", hpc_nodes, gpus_per_node=0)
+        login_sshd_i3 = LoginNodeSshd(
+            "login-node-i3", clock, ssh_ca.ca_public_key(), account_exists,
+            audit=logs["mdc"],
+        )
+        login_sshd_i3.install_host_certificate(
+            ssh_ca.provision_host_certificate(
+                "login-node-i3", login_sshd_i3.host_keypair.public_jwk()))
+        network.attach(login_sshd_i3, OperatingDomain.MDC, Zone.HPC)
+        mgmt_node_i3 = ManagementNode(
+            "mgmt-node-i3", clock, validator_for("mgmt-node-i3"), pool_i3,
+            audit=logs["mdc"], policy=policy_engine,
+        )
+        network.attach(mgmt_node_i3, OperatingDomain.MDC, Zone.MANAGEMENT)
+        tailnet.expose_endpoint("mgmt-node-i3", "mgmt")
+        slurm_i3 = SlurmScheduler(
+            clock, ids, pool_i3, portal.record_usage, audit=logs["mdc"],
+            charge_units_per_node=1,  # node-hours on the CPU machine
+        )
+
+    # environmental telemetry for the AI pod (idle until .start())
+    from repro.cluster.dcim import DcimMonitor
+
+    dcim = DcimMonitor(
+        "dcim-ai", clock, pool, audit=logs["mdc"], rng=ids.rng(),
+    )
+
+    # ------------------------------------------------------------------ SEC
+    killswitch = KillSwitchController(clock, audit=logs["sec"])
+    soc = SecurityOperationsCentre(
+        "soc", clock, validator_for("soc"), audit=logs["sec"],
+        killswitch=killswitch, auto_contain=auto_contain,
+    )
+    network.attach(soc, OperatingDomain.SEC, Zone.SECURITY)
+
+    # workload identity: attest the internal service workloads so
+    # machine-to-machine calls can carry SVIDs alongside RBAC tokens
+    from repro.federation.spiffe import TrustDomainAuthority
+
+    spire = TrustDomainAuthority("isambard.example", clock)
+    for path, endpoint_name in [
+        ("fds/broker", "broker"), ("fds/portal", "portal"),
+        ("fds/ssh-ca", "ssh-ca"), ("fds/zenith", "zenith"),
+        ("sws/log-shipper", "log-shipper"), ("sws/bastion", "bastion"),
+        ("mdc/zenith-client", "zenith-client"), ("mdc/jupyter", "jupyter"),
+    ]:
+        ep = network.endpoint(endpoint_name)
+        spire.register_workload(
+            path, f"endpoint:{ep.name}", f"domain:{ep.domain}",
+            f"zone:{ep.zone}",
+        )
+
+    def _soc_sink(records):
+        token, _ = broker.tokens.mint(
+            "log-shipper", "soc", Role.SERVICE, ttl=120, audit_issue=False
+        )
+        from repro.net.http import HttpRequest
+
+        shipper.call("soc", HttpRequest(
+            "POST", "/ingest",
+            headers={
+                "Authorization": f"Bearer {token}",
+                "X-Workload-SVID": spire.issue_svid("sws/log-shipper"),
+            },
+            body={"records": records},
+        ))
+
+    forwarders: List[LogForwarder] = []
+    for domain in ("mdc", "sws", "fds", "external"):
+        fw = LogForwarder(f"fw-{domain}", clock, _soc_sink,
+                          interval=forward_interval)
+        fw.watch(logs[domain])
+        fw.start()
+        forwarders.append(fw)
+    # network-device logs: ship only denials/violations — the delivered-
+    # message firehose stays local (and would otherwise echo the log
+    # shipping itself back into the pipeline)
+    fw_net = LogForwarder(
+        "fw-network", clock, _soc_sink, interval=forward_interval,
+        actions_filter=["firewall.", "transport.", "endpoint."],
+    )
+    fw_net.watch(logs["network"])
+    fw_net.start()
+    forwarders.append(fw_net)
+
+    # the ingest pipeline authenticates twice: service RBAC token AND a
+    # workload SVID from the attested log shipper
+    soc.require_workload_identity(
+        spire, "spiffe://isambard.example/sws/log-shipper"
+    )
+
+    # kill-switch levers: one principal, severed everywhere
+    killswitch.register_user_action("bastion-flag", bastion.flag_principal)
+    killswitch.register_user_action(
+        "broker-revoke", lambda p: broker.revoke_user_access(p, None)
+    )
+    killswitch.register_user_action("ssh-sessions", login_sshd.close_sessions_for)
+    killswitch.register_user_action("jupyter-sessions", jupyter.close_sessions_for)
+    killswitch.register_user_action("slurm-jobs", slurm.cancel_account)
+    if with_isambard3:
+        killswitch.register_user_action(
+            "ssh-sessions-i3", login_sshd_i3.close_sessions_for)
+        killswitch.register_user_action("slurm-jobs-i3", slurm_i3.cancel_account)
+    killswitch.register_stop_action(
+        "bastion", bastion.kill_service, bastion.restore_service
+    )
+    killswitch.register_stop_action(
+        "tailnet", tailnet.kill_tailnet, tailnet.restore_tailnet
+    )
+    killswitch.register_stop_action(
+        "zenith", zenith.kill_all_tunnels, zenith.restore_all_tunnels
+    )
+
+    # inventory (SOC task 2)
+    for vm in bastion.vms:
+        soc.inventory.register(vm.vm_id, "bastion-vm", vm.image_version, "sws")
+    for name, kind in [("broker", "k8s-service"), ("portal", "k8s-service"),
+                       ("ssh-ca", "k8s-service"), ("zenith", "k8s-service"),
+                       ("idp-admin", "managed-idp"),
+                       ("idp-lastresort", "managed-idp")]:
+        soc.inventory.register(name, kind, "1.0", "fds")
+    soc.inventory.register("tailnet", "coordination-server", "1.0", "sws")
+
+    # configuration assessment (SOC task 3)
+    _register_config_checks(soc, network, bastion, admin_idp, broker, filesystem)
+
+    # --- the revocation fan-out the portal hook calls --------------------
+    def _revoke_everywhere(uid: str, project: str, account: str) -> None:
+        broker.revoke_user_access(uid, project)
+        if account:
+            login_sshd.close_sessions_for(account)
+            slurm.cancel_account(account, by="portal-revocation")
+            if with_isambard3:
+                login_sshd_i3.close_sessions_for(account)
+                slurm_i3.cancel_account(account, by="portal-revocation")
+        jupyter.close_sessions_for(uid)
+
+    dri = IsambardDeployment(
+        clock=clock, ids=ids, network=network, logs=logs, audit=audit,
+        edugain=edugain, idps=idps, myaccessid=myaccessid,
+        lastresort=lastresort, admin_idp=admin_idp,
+        broker=broker, portal=portal, ssh_ca=ssh_ca, zenith=zenith, edge=edge,
+        bastion=bastion, tailnet=tailnet,
+        pool=pool, login_sshd=login_sshd, jupyter=jupyter,
+        zenith_client=zenith_client, mgmt_node=mgmt_node, slurm=slurm,
+        filesystem=filesystem,
+        soc=soc, killswitch=killswitch, forwarders=forwarders,
+        policy_engine=policy_engine,
+        pool_i3=pool_i3, login_sshd_i3=login_sshd_i3,
+        mgmt_node_i3=mgmt_node_i3, slurm_i3=slurm_i3,
+        dcim=dcim, spire=spire,
+    )
+    dri.refresh_tunnels()
+
+    from repro.core.workflows import Workflows
+
+    dri.workflows = Workflows(dri)
+    return dri
+
+
+def _register_config_checks(soc, network, bastion, admin_idp, broker, filesystem):
+    """The CIS-style check pack (SOC task 3)."""
+    fw = network.firewall
+
+    def port22_only_into_sws():
+        bad = [
+            r.name for r in fw.rules()
+            if r.action == "allow" and r.dst_domain == OperatingDomain.SWS
+            and r.src_domain == OperatingDomain.EXTERNAL and r.port != 22
+            and r.dst_zone != Zone.MANAGEMENT  # tailnet coordination is 443
+        ]
+        return (not bad, f"extra internet->SWS openings: {bad}" if bad
+                else "port 22 is the only internet opening into SWS (plus tailnet 443)")
+
+    soc.assessment.add("CIS-NET-1", "Default-deny segmentation enabled",
+                       lambda: (fw.segmented, f"segmented={fw.segmented}"))
+    soc.assessment.add("CIS-NET-2", "Internet to SWS restricted to SSH",
+                       port22_only_into_sws)
+    soc.assessment.add(
+        "CIS-NET-3", "Management zone unreachable from the internet",
+        lambda: (
+            not any(
+                r.action == "allow"
+                and r.src_domain == OperatingDomain.EXTERNAL
+                and r.dst_zone == Zone.MANAGEMENT
+                and r.dst_domain == OperatingDomain.MDC
+                for r in fw.rules()
+            ),
+            "no allow rule internet -> MDC management",
+        ),
+    )
+    soc.assessment.add(
+        "CIS-IAM-1", "Administrators use hardware-key MFA",
+        lambda: (True, "admin IdP requires hardware-key challenge/response"),
+    )
+    soc.assessment.add(
+        "CIS-IAM-2", "Access tokens are short-lived",
+        lambda: (broker.tokens.max_ttl <= 3600,
+                 f"max RBAC TTL {broker.tokens.max_ttl:.0f}s"),
+    )
+    soc.assessment.add(
+        "CIS-HA-1", "Bastion operates as an HA set",
+        lambda: (len(bastion.vms) >= 2, f"{len(bastion.vms)} bastion VMs"),
+    )
+    soc.assessment.add(
+        "CIS-DATA-1", "Parallel filesystem encrypted at rest",
+        lambda: (filesystem.encrypted_at_rest,
+                 "encryption at rest on the PFS is future work (paper §IV.B)"),
+    )

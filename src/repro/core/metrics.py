@@ -1,0 +1,65 @@
+"""Measurement helpers for the benchmark harness.
+
+Benches print paper-style tables; these helpers keep that formatting in
+one place and provide latency statistics over simulated timings.  numpy
+is used here (and only here) per the HPC-Python guidance: vectorise the
+measured hot path — which, for this control-plane reproduction, is the
+benchmark analysis itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["latency_stats", "format_table", "Timer"]
+
+
+def latency_stats(samples: Sequence[float]) -> Dict[str, float]:
+    """min/p50/p95/max/mean over a latency sample set (seconds)."""
+    if not samples:
+        return {"n": 0, "min": 0.0, "p50": 0.0, "p95": 0.0,
+                "max": 0.0, "mean": 0.0}
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "n": int(arr.size),
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+    }
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, title: str = "") -> str:
+    """Fixed-width text table (what the benches print for the reader)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Timer:
+    """Measure elapsed *simulated* time around a block."""
+
+    clock: object
+    start: float = 0.0
+    elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = self.clock.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = self.clock.now() - self.start

@@ -1,0 +1,42 @@
+"""Cryptographic substrate: keys, JWK, compact JWS and JWT.
+
+The paper's entire design rests on "short-lived role-based access tokens".
+This package implements the JOSE stack those tokens need — signing keys,
+JWK/JWKS publication, compact JWS serialization and JWT claim validation —
+from scratch on top of the ``cryptography`` library's primitives, so that
+every relying party in the simulation (Jupyter authenticator, bastion,
+tailnet, SSH CA) verifies real signatures, not stand-ins.
+"""
+
+from repro.crypto.keys import (
+    SUPPORTED_ALGORITHMS,
+    HmacKey,
+    SigningKey,
+    VerifyingKey,
+    generate_signing_key,
+)
+from repro.crypto.jwk import JwkSet, jwk_thumbprint, public_jwk
+from repro.crypto.jws import b64url_decode, b64url_encode, sign_compact, verify_compact
+from repro.crypto.jwt import JwtValidator, decode_unverified, encode_jwt
+from repro.crypto.certs import SignedDocument, sign_document, verify_document
+
+__all__ = [
+    "SUPPORTED_ALGORITHMS",
+    "SigningKey",
+    "VerifyingKey",
+    "HmacKey",
+    "generate_signing_key",
+    "JwkSet",
+    "public_jwk",
+    "jwk_thumbprint",
+    "sign_compact",
+    "verify_compact",
+    "b64url_encode",
+    "b64url_decode",
+    "encode_jwt",
+    "decode_unverified",
+    "JwtValidator",
+    "SignedDocument",
+    "sign_document",
+    "verify_document",
+]

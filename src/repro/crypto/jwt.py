@@ -1,0 +1,161 @@
+"""JWT (RFC 7519) encoding and claim validation on top of compact JWS.
+
+Validation is strict by default — issuer, audience, expiry, not-before and
+required claims are all checked against the *simulated* clock, because the
+paper's design hinges on tokens being short-lived and per-service
+(audience-scoped).  A small leeway absorbs clock skew between simulated
+components.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+from repro.clock import SimClock
+from repro.crypto.jws import sign_compact, verify_compact
+from repro.crypto.keys import SUPPORTED_ALGORITHMS
+from repro.errors import (
+    AudienceMismatch,
+    ClaimMissing,
+    IssuerMismatch,
+    SignatureInvalid,
+    TokenExpired,
+    TokenNotYetValid,
+)
+
+__all__ = ["encode_jwt", "decode_unverified", "JwtValidator"]
+
+Claims = Dict[str, object]
+
+
+def encode_jwt(claims: Claims, key, extra_header: Optional[Dict[str, object]] = None) -> str:
+    """Serialize ``claims`` as a signed JWT.
+
+    The caller is responsible for populating ``iat``/``exp`` from the
+    simulated clock; token *minting policy* lives in
+    :mod:`repro.broker.tokens`, not here.
+    """
+    header = {"typ": "JWT"}
+    header.update(extra_header or {})
+    payload = json.dumps(claims, separators=(",", ":"), sort_keys=True).encode()
+    return sign_compact(key, payload, header)
+
+
+def decode_unverified(token: str) -> Claims:
+    """Parse the payload WITHOUT verifying the signature.
+
+    Only for diagnostics/logging (e.g. the SIEM recording the ``jti`` of a
+    rejected token).  Never make an access decision from this.
+    """
+    parts = token.split(".")
+    if len(parts) != 3:
+        raise SignatureInvalid("not a compact JWT")
+    from repro.crypto.jws import b64url_decode
+
+    try:
+        claims = json.loads(b64url_decode(parts[1]))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SignatureInvalid("JWT payload is not valid JSON") from exc
+    if not isinstance(claims, dict):
+        raise SignatureInvalid("JWT payload must be a JSON object")
+    return claims
+
+
+class JwtValidator:
+    """Relying-party-side token validation policy.
+
+    Parameters
+    ----------
+    clock:
+        Shared simulated clock.
+    issuer:
+        Exact ``iss`` this verifier trusts.
+    audience:
+        The identifier of *this* service; the token's ``aud`` (string or
+        list) must contain it.  ``None`` disables the audience check (used
+        only by introspection endpoints, never by resources).
+    keys:
+        A ``kid -> verifier`` lookup (:class:`~repro.crypto.jwk.JwkSet`)
+        or a single verifier key.
+    leeway:
+        Seconds of clock-skew tolerance for ``exp``/``nbf``.
+    required_claims:
+        Claims that must be present beyond the registered set.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        issuer: str,
+        audience: Optional[str],
+        keys,
+        *,
+        leeway: float = 5.0,
+        allowed_algs: Iterable[str] = SUPPORTED_ALGORITHMS,
+        required_claims: Sequence[str] = (),
+    ) -> None:
+        self.clock = clock
+        self.issuer = issuer
+        self.audience = audience
+        self.keys = keys
+        self.leeway = leeway
+        self.allowed_algs = tuple(allowed_algs)
+        self.required_claims = tuple(required_claims)
+
+    def validate(self, token: str) -> Claims:
+        """Verify signature + claims; return the claims or raise a
+        :class:`~repro.errors.TokenError` subclass describing the failure."""
+        _header, payload = verify_compact(token, self.keys, self.allowed_algs)
+        claims = json.loads(payload)
+        if not isinstance(claims, dict):
+            raise SignatureInvalid("JWT payload must be a JSON object")
+
+        now = self.clock.now()
+
+        exp = claims.get("exp")
+        if exp is None:
+            raise ClaimMissing("token has no 'exp'; unbounded tokens are forbidden")
+        if not isinstance(exp, (int, float)) or isinstance(exp, bool):
+            raise ClaimMissing("'exp' must be numeric")
+        if now > float(exp) + self.leeway:
+            raise TokenExpired(
+                f"token expired at t={exp}, now t={now:.1f} (leeway {self.leeway}s)"
+            )
+
+        nbf = claims.get("nbf")
+        if nbf is not None:
+            if not isinstance(nbf, (int, float)) or isinstance(nbf, bool):
+                raise ClaimMissing("'nbf' must be numeric")
+            if now + self.leeway < float(nbf):
+                raise TokenNotYetValid(
+                    f"token not valid before t={nbf}, now t={now:.1f}"
+                )
+
+        iss = claims.get("iss")
+        if iss != self.issuer:
+            raise IssuerMismatch(
+                f"token issued by {iss!r}, this service trusts {self.issuer!r}"
+            )
+
+        if self.audience is not None:
+            aud = claims.get("aud")
+            auds: Sequence[object]
+            if aud is None:
+                auds = ()
+            elif isinstance(aud, str):
+                auds = (aud,)
+            elif isinstance(aud, list):
+                auds = aud
+            else:
+                auds = ()
+            if self.audience not in auds:
+                raise AudienceMismatch(
+                    f"token audience {aud!r} does not include {self.audience!r}"
+                )
+
+        for claim in self.required_claims:
+            if claim not in claims:
+                raise ClaimMissing(f"required claim {claim!r} missing")
+
+        return claims

@@ -1,0 +1,169 @@
+"""Exception taxonomy for the reproduction.
+
+The hierarchy mirrors the layers of the architecture: token/crypto errors,
+federation errors, network/segmentation errors, policy errors and resource
+errors.  Services convert these into denial responses; the audit log and
+the SIEM observe them.  Catch :class:`ReproError` to handle anything the
+library can raise deliberately.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AuthenticationError",
+    "AuthorizationError",
+    "MFARequired",
+    "MFAFailed",
+    "TokenError",
+    "SignatureInvalid",
+    "TokenExpired",
+    "TokenNotYetValid",
+    "TokenRevoked",
+    "AudienceMismatch",
+    "IssuerMismatch",
+    "ClaimMissing",
+    "FederationError",
+    "AssuranceTooLow",
+    "IdentityNotRegistered",
+    "RegistrationError",
+    "NetworkError",
+    "ConnectionBlocked",
+    "EncryptionRequired",
+    "ServiceUnavailable",
+    "RateLimited",
+    "CertificateError",
+    "PolicyViolation",
+    "KillSwitchActive",
+    "SchedulerError",
+    "QuotaExceeded",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all deliberate errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# authentication / authorisation
+# ---------------------------------------------------------------------------
+class AuthenticationError(ReproError):
+    """The caller's identity could not be established."""
+
+
+class AuthorizationError(ReproError):
+    """The caller is authenticated but not permitted to do this."""
+
+
+class MFARequired(AuthenticationError):
+    """The flow requires a second factor that was not presented."""
+
+
+class MFAFailed(AuthenticationError):
+    """A second factor was presented but did not verify."""
+
+
+# ---------------------------------------------------------------------------
+# tokens and signatures
+# ---------------------------------------------------------------------------
+class TokenError(ReproError):
+    """Base class for problems with signed tokens."""
+
+
+class SignatureInvalid(TokenError):
+    """The cryptographic signature failed verification."""
+
+
+class TokenExpired(TokenError):
+    """The token's ``exp`` is in the past (beyond leeway)."""
+
+
+class TokenNotYetValid(TokenError):
+    """The token's ``nbf`` is in the future (beyond leeway)."""
+
+
+class TokenRevoked(TokenError):
+    """The token was explicitly revoked (kill switch, user removal...)."""
+
+
+class AudienceMismatch(TokenError):
+    """The token was minted for a different service."""
+
+
+class IssuerMismatch(TokenError):
+    """The token was minted by an issuer this service does not trust."""
+
+
+class ClaimMissing(TokenError):
+    """A claim the validator requires is absent."""
+
+
+# ---------------------------------------------------------------------------
+# federation
+# ---------------------------------------------------------------------------
+class FederationError(ReproError):
+    """Base class for identity-federation problems."""
+
+
+class AssuranceTooLow(FederationError):
+    """The authenticating IdP does not meet the required level of assurance."""
+
+
+class IdentityNotRegistered(FederationError):
+    """No account-registry entry exists for this identity."""
+
+
+class RegistrationError(FederationError):
+    """Account registration failed (e.g. authorisation-led registration
+    rejected an identity with no granted role)."""
+
+
+# ---------------------------------------------------------------------------
+# network / segmentation
+# ---------------------------------------------------------------------------
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class ConnectionBlocked(NetworkError):
+    """The firewall/segmentation policy denies this flow."""
+
+
+class EncryptionRequired(NetworkError):
+    """A plaintext message attempted to cross a boundary that mandates TLS."""
+
+
+class ServiceUnavailable(NetworkError):
+    """The destination endpoint exists but is not serving (down/patching)."""
+
+
+class RateLimited(NetworkError):
+    """The edge (Cloudflare-like) throttled or blocked the request."""
+
+
+# ---------------------------------------------------------------------------
+# certificates / policy / resources
+# ---------------------------------------------------------------------------
+class CertificateError(ReproError):
+    """An SSH-style certificate failed validation."""
+
+
+class PolicyViolation(ReproError):
+    """A dynamic-policy evaluation denied the request."""
+
+
+class KillSwitchActive(ReproError):
+    """The kill switch for this service or principal is engaged."""
+
+
+class SchedulerError(ReproError):
+    """Job scheduler rejected the request (bad partition, account...)."""
+
+
+class QuotaExceeded(ReproError):
+    """Project resource/time allocation exhausted."""
+
+
+class ConfigurationError(ReproError):
+    """The deployment was wired in an unsupported way."""

@@ -1,0 +1,39 @@
+"""Identity federation: IdPs, eduGAIN, assurance, MFA, MyAccessID proxy."""
+
+from repro.federation.assurance import AssurancePolicy, EntityCategory, LevelOfAssurance
+from repro.federation.cloud_idp import AdminAccount, CloudAdminIdP
+from repro.federation.edugain import EduGain, IdPMetadata, populate_edugain
+from repro.federation.idp import FederatedUser, InstitutionalIdP
+from repro.federation.lastresort import LastResortIdP, LastResortUser
+from repro.federation.mfa import HardwareKey, HardwareKeyRegistration, TotpDevice
+from repro.federation.spiffe import TrustDomainAuthority, WorkloadIdentity
+from repro.federation.myaccessid import (
+    Account,
+    AccountRegistry,
+    LinkedIdentity,
+    MyAccessID,
+)
+
+__all__ = [
+    "AssurancePolicy",
+    "EntityCategory",
+    "LevelOfAssurance",
+    "InstitutionalIdP",
+    "FederatedUser",
+    "EduGain",
+    "IdPMetadata",
+    "populate_edugain",
+    "MyAccessID",
+    "Account",
+    "AccountRegistry",
+    "LinkedIdentity",
+    "LastResortIdP",
+    "LastResortUser",
+    "CloudAdminIdP",
+    "AdminAccount",
+    "TotpDevice",
+    "HardwareKey",
+    "HardwareKeyRegistration",
+    "TrustDomainAuthority",
+    "WorkloadIdentity",
+]

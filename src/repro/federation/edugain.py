@@ -1,0 +1,134 @@
+"""eduGAIN-style inter-federation metadata registry.
+
+eduGAIN "connects identity federations around the world" — operationally
+it is a metadata aggregate: entity ids, endpoints, keys, entity
+categories and assurance declarations for thousands of IdPs.  The proxy
+(MyAccessID) consumes this registry to validate assertions and to drive
+its discovery service.
+
+The paper's noted weakness — eduGAIN "lacks features for controlling
+assurance and trust from IdPs" — shows up here as: the registry *records*
+what IdPs self-declare, and it is the proxy's :class:`AssurancePolicy`
+that must filter, since the federation itself will not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, FederationError
+from repro.federation.assurance import EntityCategory, LevelOfAssurance
+from repro.federation.idp import InstitutionalIdP
+
+__all__ = ["IdPMetadata", "EduGain"]
+
+
+@dataclass(frozen=True)
+class IdPMetadata:
+    """One IdP's entry in the metadata aggregate."""
+
+    entity_id: str
+    endpoint_name: str
+    display_name: str
+    federation: str  # home federation, e.g. "UKAMF", "InCommon"
+    loa: LevelOfAssurance
+    categories: Tuple[EntityCategory, ...]
+    verifier: object  # VerifyingKey for its assertions
+
+
+class EduGain:
+    """The metadata aggregate, keyed by entity id."""
+
+    def __init__(self) -> None:
+        self._idps: Dict[str, IdPMetadata] = {}
+
+    def register_idp(
+        self,
+        idp: InstitutionalIdP,
+        *,
+        federation: str,
+        display_name: Optional[str] = None,
+    ) -> IdPMetadata:
+        """Publish an IdP's metadata into the aggregate."""
+        if idp.entity_id in self._idps:
+            raise ConfigurationError(f"entity {idp.entity_id!r} already registered")
+        md = IdPMetadata(
+            entity_id=idp.entity_id,
+            endpoint_name=idp.name,
+            display_name=display_name or idp.name,
+            federation=federation,
+            loa=idp.loa,
+            categories=idp.categories,
+            verifier=idp.verifier(),
+        )
+        self._idps[idp.entity_id] = md
+        return md
+
+    def get(self, entity_id: str) -> IdPMetadata:
+        md = self._idps.get(entity_id)
+        if md is None:
+            raise FederationError(f"entity {entity_id!r} not in eduGAIN metadata")
+        return md
+
+    def has(self, entity_id: str) -> bool:
+        return entity_id in self._idps
+
+    def idps(self) -> List[IdPMetadata]:
+        return [self._idps[k] for k in sorted(self._idps)]
+
+    def federations(self) -> List[str]:
+        return sorted({md.federation for md in self._idps.values()})
+
+    def __len__(self) -> int:
+        return len(self._idps)
+
+
+def populate_edugain(
+    edugain: EduGain,
+    clock,
+    ids,
+    *,
+    n_federations: int = 20,
+    idps_per_federation: int = 10,
+    rns_fraction: float = 0.7,
+    network=None,
+) -> list:
+    """Synthesise a large inter-federation (eduGAIN had >80 federations
+    and >8000 IdPs at the time of the paper).
+
+    Every ``rns_fraction`` of IdPs declares R&S + Cappuccino (acceptable
+    to MyAccessID); the rest are low-assurance with no entity category —
+    the population the discovery filter must reject.  When ``network``
+    is given, IdPs are attached as live EXTERNAL endpoints so logins
+    through them actually work.
+    """
+    from repro.federation.assurance import EntityCategory, LevelOfAssurance
+    from repro.federation.idp import InstitutionalIdP
+
+    created = []
+    count = 0
+    for f in range(n_federations):
+        federation = f"fed-{f:02d}"
+        for i in range(idps_per_federation):
+            count += 1
+            rns = (count % 100) < rns_fraction * 100
+            name = f"idp-{federation}-{i:02d}"
+            idp = InstitutionalIdP(
+                name,
+                f"https://{name}.example",
+                clock,
+                ids,
+                loa=(LevelOfAssurance.CAPPUCCINO if rns
+                     else LevelOfAssurance.LOW),
+                categories=((EntityCategory.RESEARCH_AND_SCHOLARSHIP,)
+                            if rns else ()),
+            )
+            edugain.register_idp(idp, federation=federation,
+                                 display_name=name)
+            if network is not None:
+                from repro.net import OperatingDomain, Zone
+
+                network.attach(idp, OperatingDomain.EXTERNAL, Zone.INTERNET)
+            created.append(idp)
+    return created

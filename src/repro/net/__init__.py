@@ -1,0 +1,32 @@
+"""Simulated segmented network: zones, domains, firewall, HTTP transport."""
+
+from repro.net.analyzer import ChangeReport, FlowDelta, analyze_rule_change
+from repro.net.firewall import ANY, Decision, Firewall, FirewallRule
+from repro.net.http import HttpRequest, HttpResponse, Service, route
+from repro.net.network import Endpoint, Network
+from repro.net.zones import (
+    DOMAIN_DESCRIPTIONS,
+    ZONE_DESCRIPTIONS,
+    OperatingDomain,
+    Zone,
+)
+
+__all__ = [
+    "analyze_rule_change",
+    "ChangeReport",
+    "FlowDelta",
+    "ANY",
+    "Decision",
+    "Firewall",
+    "FirewallRule",
+    "HttpRequest",
+    "HttpResponse",
+    "Service",
+    "route",
+    "Endpoint",
+    "Network",
+    "OperatingDomain",
+    "Zone",
+    "ZONE_DESCRIPTIONS",
+    "DOMAIN_DESCRIPTIONS",
+]

@@ -1,0 +1,151 @@
+"""Simulated HTTP layer: requests, responses and routable services.
+
+The control plane of the reproduction speaks this miniature HTTP: the
+identity broker, portal, OIDC endpoints, SSH CA, Zenith, Jupyter and the
+SOC are all :class:`Service` subclasses that register routes.  Every
+message travels through :class:`~repro.net.network.Network`, so firewall
+and encryption policy apply uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["HttpRequest", "HttpResponse", "Service", "route"]
+
+
+@dataclass
+class HttpRequest:
+    """A structured request.  ``body`` and ``query`` are plain dicts —
+    serialization fidelity is not what this simulation studies."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    query: Dict[str, str] = field(default_factory=dict)
+    body: Dict[str, object] = field(default_factory=dict)
+    source: str = ""  # endpoint name of the caller, filled in by the network
+
+    def bearer_token(self) -> Optional[str]:
+        """Extract a ``Authorization: Bearer ...`` token if present."""
+        auth = self.headers.get("Authorization", "")
+        if auth.startswith("Bearer "):
+            return auth[len("Bearer "):]
+        return None
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    body: Dict[str, object] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @classmethod
+    def json(cls, body: Dict[str, object], status: int = 200) -> "HttpResponse":
+        return cls(status=status, body=body)
+
+    @classmethod
+    def error(cls, status: int, message: str, **extra: object) -> "HttpResponse":
+        body: Dict[str, object] = {"error": message}
+        body.update(extra)
+        return cls(status=status, body=body)
+
+    @classmethod
+    def redirect(cls, location: str) -> "HttpResponse":
+        return cls(status=302, headers={"Location": location})
+
+
+def route(method: str, path: str):
+    """Decorator marking a :class:`Service` method as a route handler."""
+
+    def mark(fn: Callable) -> Callable:
+        fn._route = (method.upper(), path)  # type: ignore[attr-defined]
+        return fn
+
+    return mark
+
+
+class Service:
+    """Base class for everything that serves requests in the simulation.
+
+    Subclasses declare handlers with the :func:`route` decorator; the
+    metaclass-free registration happens at construction by scanning the
+    class.  A service knows its ``name`` (which doubles as its endpoint
+    name once attached to the network) and can issue outbound requests
+    through the network with :meth:`call`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.network = None  # set by Network.attach
+        self.endpoint = None
+        self._routes: Dict[Tuple[str, str], Callable[[HttpRequest], HttpResponse]] = {}
+        for attr in dir(type(self)):
+            fn = getattr(type(self), attr)
+            r = getattr(fn, "_route", None)
+            if r is not None:
+                self._routes[r] = getattr(self, attr)
+
+    # ------------------------------------------------------------------
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch to the registered route; 404 if none matches.
+
+        A handler that raises :class:`ReproError` becomes a 403 denial
+        (the error message travels in the body — these are simulated
+        services, leaking reasons aids the benchmarks' legibility).
+        Unexpected exceptions propagate: they are bugs, not denials.
+        """
+        handler = self._routes.get((request.method.upper(), request.path))
+        if handler is None:
+            return HttpResponse.error(404, f"no route {request.method} {request.path}")
+        try:
+            return handler(request)
+        except ReproError as exc:
+            return HttpResponse.error(
+                403, str(exc), error_type=type(exc).__name__
+            )
+
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        dst: str,
+        request: HttpRequest,
+        *,
+        port: int = 443,
+        encrypted: bool = True,
+    ) -> HttpResponse:
+        """Make an outbound request through the attached network."""
+        if self.network is None or self.endpoint is None:
+            raise RuntimeError(f"service {self.name} is not attached to a network")
+        return self.network.request(
+            self.endpoint.name, dst, request, port=port, encrypted=encrypted
+        )
+
+    def routes(self) -> Dict[Tuple[str, str], Callable]:
+        return dict(self._routes)
+
+    # ------------------------------------------------------------------
+    def log_event(self, actor: str, action: str, resource: str,
+                  outcome: str, **attrs: object):
+        """Emit an audit event stamped with this service's location.
+
+        Requires the subclass to hold ``self.audit`` and ``self.clock``
+        (every auditing service in this library does); the domain/zone
+        labels come from the attached endpoint so cross-domain incident
+        correlation works.
+        """
+        domain = zone = ""
+        if self.endpoint is not None:
+            domain = str(self.endpoint.domain)
+            zone = str(self.endpoint.zone)
+        return self.audit.record(  # type: ignore[attr-defined]
+            self.clock.now(), self.name, actor, action, resource,  # type: ignore[attr-defined]
+            outcome, domain=domain, zone=zone, **attrs,
+        )

@@ -1,0 +1,61 @@
+"""Security zones and operating domains of the Isambard design (Fig. 1).
+
+The paper separates *zones* (the NIST SP 800-223 concept: Access,
+Management, High Performance Computing, Data Storage, plus the paper's own
+Security zone) from *operating domains* (where equipment physically runs:
+the Modular Data Centres, Sitewide Services, Front Door Services in public
+cloud, and Security Services in a separate cloud account).  Both axes
+matter for segmentation, so every endpoint in the simulation is labelled
+with one of each.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Zone", "OperatingDomain", "ZONE_DESCRIPTIONS", "DOMAIN_DESCRIPTIONS"]
+
+
+class Zone(str, Enum):
+    """NIST SP 800-223 style security zones, plus the public internet."""
+
+    INTERNET = "internet"
+    ACCESS = "access"
+    HPC = "hpc"
+    DATA_STORAGE = "data_storage"
+    MANAGEMENT = "management"
+    SECURITY = "security"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class OperatingDomain(str, Enum):
+    """Where a component physically/administratively runs."""
+
+    EXTERNAL = "external"  # user devices, institutional IdPs, the internet
+    MDC = "mdc"            # Modular Data Centres (the supercomputers)
+    SWS = "sws"            # Sitewide Services (bastions, log gathering, tailnet)
+    FDS = "fds"            # Front Door Services (public cloud; Access zone)
+    SEC = "sec"            # Security Services (separate cloud account; SOC)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+ZONE_DESCRIPTIONS = {
+    Zone.INTERNET: "Public internet: user devices and external services",
+    Zone.ACCESS: "Access zone: the only internet-facing zone; all authentication",
+    Zone.HPC: "High Performance Computing zone: login and compute nodes",
+    Zone.DATA_STORAGE: "Data storage zone: parallel filesystems",
+    Zone.MANAGEMENT: "Management zone: admin plane, reachable only via tailnet",
+    Zone.SECURITY: "Security zone: SIEM/SOC, isolated from all other zones",
+}
+
+DOMAIN_DESCRIPTIONS = {
+    OperatingDomain.EXTERNAL: "External: user devices, institutional IdPs, MyAccessID",
+    OperatingDomain.MDC: "Modular Data Centres housing Isambard-AI / Isambard 3",
+    OperatingDomain.SWS: "Sitewide Services at the NCC: bastions, logs, tailnet relays",
+    OperatingDomain.FDS: "Front Door Services in public cloud: broker, portal, CA, Zenith",
+    OperatingDomain.SEC: "Security Services in a separate cloud account: the SOC",
+}

@@ -1,0 +1,26 @@
+"""From-scratch OpenID Connect: provider, relying party, sessions, PKCE."""
+
+from repro.oidc.client import FlowState, RelyingParty, UserAgent
+from repro.oidc.messages import (
+    AuthorizationCode,
+    ClientConfig,
+    make_url,
+    parse_url,
+    pkce_challenge,
+)
+from repro.oidc.provider import OidcProvider
+from repro.oidc.session import Session, SessionStore
+
+__all__ = [
+    "OidcProvider",
+    "RelyingParty",
+    "UserAgent",
+    "FlowState",
+    "ClientConfig",
+    "AuthorizationCode",
+    "Session",
+    "SessionStore",
+    "make_url",
+    "parse_url",
+    "pkce_challenge",
+]

@@ -1,0 +1,237 @@
+"""OIDC relying-party helper and a browser-like user agent.
+
+:class:`UserAgent` models the user's device: it keeps a cookie jar per
+endpoint, follows 302 redirects across services, and is the thing that
+physically carries authorization codes between providers — exactly the
+role a browser plays in the paper's login flows.
+
+:class:`RelyingParty` is the server-side half used by the portal, the
+Zenith auth shim and the SSH CA's web flow: it builds authorization URLs
+(with PKCE + nonce + state), redeems codes at the token endpoint over the
+simulated network, and validates ID tokens against the provider's JWKS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.clock import SimClock
+from repro.crypto import JwkSet, JwtValidator
+from repro.errors import AuthenticationError, ConfigurationError
+from repro.net.http import HttpRequest, HttpResponse, Service
+from repro.oidc.messages import ClientConfig, make_url, parse_url, pkce_challenge
+
+__all__ = ["UserAgent", "RelyingParty", "FlowState"]
+
+
+class UserAgent(Service):
+    """A simulated browser / native client on a user's device.
+
+    Attach it to the network in the EXTERNAL domain; drive flows with
+    :meth:`get` / :meth:`post`.  Redirects are followed automatically
+    (up to ``max_hops``) and cookies are scoped per endpoint, so two
+    providers cannot see each other's sessions.
+    """
+
+    def __init__(self, name: str, *, max_hops: int = 15) -> None:
+        super().__init__(name)
+        self.cookies: Dict[str, Dict[str, str]] = {}
+        self.max_hops = max_hops
+        self.history: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _headers_for(self, endpoint: str) -> Dict[str, str]:
+        jar = self.cookies.get(endpoint, {})
+        if not jar:
+            return {}
+        return {"Cookie": "; ".join(f"{k}={v}" for k, v in jar.items())}
+
+    def _store_cookies(self, endpoint: str, response: HttpResponse) -> None:
+        set_cookie = response.headers.get("Set-Cookie")
+        if set_cookie:
+            k, _, v = set_cookie.partition("=")
+            self.cookies.setdefault(endpoint, {})[k.strip()] = v.strip()
+
+    def navigate(
+        self,
+        url: str,
+        *,
+        method: str = "GET",
+        body: Optional[Dict[str, object]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[HttpResponse, str]:
+        """Issue a request and follow redirects; returns (response, final_url).
+
+        Only the first hop carries ``body`` (redirects become GETs, as
+        browsers do for 302).
+        """
+        current, current_method, current_body = url, method, body
+        for _hop in range(self.max_hops):
+            endpoint, path, params = parse_url(current)
+            req_headers = self._headers_for(endpoint)
+            req_headers.update(headers or {})
+            request = HttpRequest(
+                method=current_method,
+                path=path,
+                headers=req_headers,
+                query=params,
+                body=dict(current_body or {}),
+            )
+            response = self.call(endpoint, request)
+            self.history.append(f"{current_method} {current}")
+            self._store_cookies(endpoint, response)
+            if response.status == 302 and "Location" in response.headers:
+                current = response.headers["Location"]
+                current_method, current_body = "GET", None
+                continue
+            return response, current
+        raise ConfigurationError(f"redirect loop after {self.max_hops} hops at {current}")
+
+    def get(self, url: str, **kwargs) -> Tuple[HttpResponse, str]:
+        return self.navigate(url, method="GET", **kwargs)
+
+    def post(self, url: str, body: Dict[str, object], **kwargs) -> Tuple[HttpResponse, str]:
+        return self.navigate(url, method="POST", body=body, **kwargs)
+
+    def clear_cookies(self, endpoint: Optional[str] = None) -> None:
+        if endpoint is None:
+            self.cookies.clear()
+        else:
+            self.cookies.pop(endpoint, None)
+
+
+@dataclass
+class FlowState:
+    """Per-login state a relying party must hold between the redirect out
+    and the code coming back (CSRF ``state``, PKCE verifier, nonce)."""
+
+    state: str
+    verifier: str
+    nonce: str
+    redirect_uri: str
+    scope: str
+
+
+class RelyingParty:
+    """Server-side OIDC client bound to one provider.
+
+    Parameters
+    ----------
+    owner:
+        The service making network calls (portal, Zenith auth, SSH CA).
+    provider_endpoint:
+        Network endpoint name of the OIDC provider.
+    client:
+        This RP's registration at the provider.
+    clock, ids:
+        Simulation plumbing (ids generate state/verifier/nonce).
+    """
+
+    def __init__(
+        self,
+        owner: Service,
+        provider_endpoint: str,
+        client: ClientConfig,
+        clock: SimClock,
+        ids,
+    ) -> None:
+        self.owner = owner
+        self.provider = provider_endpoint
+        self.client = client
+        self.clock = clock
+        self.ids = ids
+        self._issuer: Optional[str] = None
+        self._jwks: Optional[JwkSet] = None
+        self._pending: Dict[str, FlowState] = {}
+
+    # ------------------------------------------------------------------
+    def _discover(self) -> None:
+        if self._issuer is not None:
+            return
+        resp = self.owner.call(
+            self.provider, HttpRequest("GET", "/.well-known/openid-configuration")
+        )
+        if not resp.ok:
+            raise AuthenticationError(f"OIDC discovery at {self.provider} failed")
+        self._issuer = str(resp.body["issuer"])
+        jwks_resp = self.owner.call(self.provider, HttpRequest("GET", "/jwks"))
+        self._jwks = JwkSet.from_jwks(jwks_resp.body)  # type: ignore[arg-type]
+
+    @property
+    def issuer(self) -> str:
+        self._discover()
+        assert self._issuer is not None
+        return self._issuer
+
+    # ------------------------------------------------------------------
+    def begin(self, redirect_uri: str, *, scope: str = "openid profile") -> Tuple[str, FlowState]:
+        """Create flow state and the authorization URL to send the agent to."""
+        flow = FlowState(
+            state=self.ids.secret(16),
+            verifier=self.ids.secret(43),
+            nonce=self.ids.secret(16),
+            redirect_uri=redirect_uri,
+            scope=scope,
+        )
+        self._pending[flow.state] = flow
+        url = make_url(
+            self.provider,
+            "/authorize",
+            client_id=self.client.client_id,
+            redirect_uri=redirect_uri,
+            response_type="code",
+            scope=scope,
+            state=flow.state,
+            nonce=flow.nonce,
+            code_challenge=pkce_challenge(flow.verifier),
+            code_challenge_method="S256",
+        )
+        return url, flow
+
+    def redeem(self, code: str, state: str) -> Dict[str, object]:
+        """Exchange ``code`` for tokens; validates state, PKCE and ID token.
+
+        Returns ``{"access_token", "id_token", "id_claims", ...}``.
+        """
+        flow = self._pending.pop(state, None)
+        if flow is None:
+            raise AuthenticationError("unknown or replayed state (CSRF check failed)")
+        self._discover()
+        body: Dict[str, object] = {
+            "grant_type": "authorization_code",
+            "code": code,
+            "redirect_uri": flow.redirect_uri,
+            "client_id": self.client.client_id,
+            "code_verifier": flow.verifier,
+        }
+        if self.client.confidential:
+            body["client_secret"] = self.client.client_secret
+        resp = self.owner.call(self.provider, HttpRequest("POST", "/token", body=body))
+        if not resp.ok:
+            raise AuthenticationError(
+                f"token exchange failed: {resp.body.get('error', resp.status)}"
+            )
+        id_token = str(resp.body["id_token"])
+        from repro.errors import SignatureInvalid
+
+        try:
+            validator = JwtValidator(
+                self.clock, self.issuer, self.client.client_id, self._jwks
+            )
+            id_claims = validator.validate(id_token)
+        except SignatureInvalid:
+            # the provider may have rotated its keys: refresh the cached
+            # JWKS once and retry before treating it as a forgery
+            self._issuer = None
+            self._jwks = None
+            self._discover()
+            validator = JwtValidator(
+                self.clock, self.issuer, self.client.client_id, self._jwks
+            )
+            id_claims = validator.validate(id_token)
+        if id_claims.get("nonce") != flow.nonce:
+            raise AuthenticationError("ID token nonce mismatch (replay?)")
+        out = dict(resp.body)
+        out["id_claims"] = id_claims
+        return out

@@ -1,0 +1,30 @@
+"""Zero-trust policy: dynamic engine, NIST tenets, CAF assessment."""
+
+from repro.policy.caf import CAF_OBJECTIVES, OutcomeResult, assess_caf, caf_summary
+from repro.policy.dsl import STANDARD_POLICY, load_policy, parse_policy
+from repro.policy.engine import (
+    AccessContext,
+    PolicyDecision,
+    PolicyEngine,
+    PolicyRule,
+    standard_zero_trust_rules,
+)
+from repro.policy.tenets import TENET_TITLES, TenetReport, check_tenets
+
+__all__ = [
+    "PolicyEngine",
+    "PolicyRule",
+    "PolicyDecision",
+    "AccessContext",
+    "standard_zero_trust_rules",
+    "parse_policy",
+    "load_policy",
+    "STANDARD_POLICY",
+    "TenetReport",
+    "TENET_TITLES",
+    "check_tenets",
+    "OutcomeResult",
+    "assess_caf",
+    "caf_summary",
+    "CAF_OBJECTIVES",
+]

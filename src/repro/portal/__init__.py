@@ -1,0 +1,28 @@
+"""User/project portal: projects, invitations, roles, unix accounts."""
+
+from repro.portal.accounts import UnixAccount, UnixAccountRegistry
+from repro.portal.models import (
+    Allocation,
+    Invitation,
+    Membership,
+    PortalUser,
+    Project,
+    ProjectStatus,
+)
+from repro.portal.portal import UserPortal
+from repro.portal.puhuri import AllocationOrder, PuhuriAgent, PuhuriCore
+
+__all__ = [
+    "UserPortal",
+    "PuhuriCore",
+    "PuhuriAgent",
+    "AllocationOrder",
+    "UnixAccount",
+    "UnixAccountRegistry",
+    "Allocation",
+    "Invitation",
+    "Membership",
+    "PortalUser",
+    "Project",
+    "ProjectStatus",
+]

@@ -1,0 +1,91 @@
+"""Per-project UNIX account registry.
+
+User story 4: "A unique UNIX username is generated for each user's access
+to each project to ensure ZTA resource access requirements."  The same
+person working on two projects gets two cluster accounts, so a compromise
+or revocation is scoped to one project.  Revoked account names are
+tombstoned and never reissued — audit trails must stay unambiguous.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["UnixAccount", "UnixAccountRegistry"]
+
+_SAFE = re.compile(r"[^a-z0-9]")
+
+
+@dataclass(frozen=True)
+class UnixAccount:
+    username: str
+    uid: str          # federated identity this account belongs to
+    project_id: str
+    uid_number: int   # numeric uid on the cluster
+
+
+class UnixAccountRegistry:
+    """Allocates unique, never-reused cluster usernames."""
+
+    def __init__(self, *, first_uid_number: int = 20000) -> None:
+        self._by_username: Dict[str, UnixAccount] = {}
+        self._by_key: Dict[Tuple[str, str], str] = {}  # (uid, project) -> username
+        self._tombstones: Set[str] = set()
+        self._next_uid_number = first_uid_number
+
+    @staticmethod
+    def _sanitise(preferred: str) -> str:
+        cleaned = _SAFE.sub("", preferred.lower())[:12]
+        return cleaned or "user"
+
+    def allocate(self, uid: str, project_id: str, preferred: str) -> UnixAccount:
+        """Allocate (or return the existing) account for (uid, project)."""
+        key = (uid, project_id)
+        existing = self._by_key.get(key)
+        if existing is not None and existing not in self._tombstones:
+            return self._by_username[existing]
+        base = f"{self._sanitise(preferred)}.{project_id}"
+        username = base
+        suffix = 1
+        while username in self._by_username or username in self._tombstones:
+            suffix += 1
+            username = f"{base}{suffix}"
+        account = UnixAccount(
+            username=username,
+            uid=uid,
+            project_id=project_id,
+            uid_number=self._next_uid_number,
+        )
+        self._next_uid_number += 1
+        self._by_username[username] = account
+        self._by_key[key] = username
+        return account
+
+    def revoke(self, uid: str, project_id: str) -> Optional[str]:
+        """Tombstone the account for (uid, project); returns its username."""
+        username = self._by_key.pop((uid, project_id), None)
+        if username is None:
+            return None
+        self._tombstones.add(username)
+        return username
+
+    def lookup(self, username: str) -> Optional[UnixAccount]:
+        """Resolve an account name; tombstoned accounts resolve to None."""
+        if username in self._tombstones:
+            return None
+        return self._by_username.get(username)
+
+    def accounts_for(self, uid: str) -> List[UnixAccount]:
+        """All live accounts of a federated identity, across projects."""
+        return [
+            self._by_username[name]
+            for (u, _p), name in self._by_key.items()
+            if u == uid and name not in self._tombstones
+        ]
+
+    def is_tombstoned(self, username: str) -> bool:
+        return username in self._tombstones

@@ -1,0 +1,36 @@
+"""SIEM/SOC: forwarders, detections, inventory, assessment, kill switch."""
+
+from repro.siem.configassess import CheckResult, ConfigAssessment, ConfigCheck
+from repro.siem.detections import (
+    Alert,
+    DetectionRule,
+    DistinctTargetsRule,
+    ThresholdRule,
+    standard_rules,
+)
+from repro.siem.forwarder import LogForwarder, event_to_record
+from repro.siem.inventory import Advisory, Asset, AssetInventory
+from repro.siem.killswitch import KillSwitchController
+from repro.siem.soc import SecurityOperationsCentre
+from repro.siem.timeline import IncidentTimeline, TimelineEntry, build_timeline
+
+__all__ = [
+    "LogForwarder",
+    "event_to_record",
+    "Alert",
+    "DetectionRule",
+    "ThresholdRule",
+    "DistinctTargetsRule",
+    "standard_rules",
+    "AssetInventory",
+    "Asset",
+    "Advisory",
+    "ConfigAssessment",
+    "ConfigCheck",
+    "CheckResult",
+    "KillSwitchController",
+    "SecurityOperationsCentre",
+    "IncidentTimeline",
+    "TimelineEntry",
+    "build_timeline",
+]

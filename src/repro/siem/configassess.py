@@ -1,0 +1,63 @@
+"""Security configuration assessment (SOC task 3, CIS-benchmark style).
+
+"Provide security configuration assessment to aid with compliance with
+best-practice guidelines, such as CIS."  A check inspects live
+deployment objects and returns pass/fail with evidence; the assessment
+engine runs a pack of checks and produces a scored report — the artefact
+an auditor (or the CAF baseline assessment the paper plans next) reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["CheckResult", "ConfigCheck", "ConfigAssessment"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    check_id: str
+    title: str
+    passed: bool
+    evidence: str
+
+
+@dataclass
+class ConfigCheck:
+    check_id: str
+    title: str
+    probe: Callable[[], "tuple[bool, str]"]  # returns (passed, evidence)
+
+    def run(self) -> CheckResult:
+        try:
+            passed, evidence = self.probe()
+        except Exception as exc:  # a broken probe is a failed control
+            passed, evidence = False, f"probe error: {exc}"
+        return CheckResult(self.check_id, self.title, passed, evidence)
+
+
+class ConfigAssessment:
+    """A pack of checks plus scoring."""
+
+    def __init__(self) -> None:
+        self._checks: List[ConfigCheck] = []
+
+    def add(self, check_id: str, title: str,
+            probe: Callable[[], "tuple[bool, str]"]) -> None:
+        self._checks.append(ConfigCheck(check_id, title, probe))
+
+    def run(self) -> List[CheckResult]:
+        return [c.run() for c in self._checks]
+
+    def score(self) -> float:
+        results = self.run()
+        if not results:
+            return 0.0
+        return sum(1 for r in results if r.passed) / len(results)
+
+    def failing(self) -> List[CheckResult]:
+        return [r for r in self.run() if not r.passed]
+
+    def __len__(self) -> int:
+        return len(self._checks)

@@ -1,0 +1,204 @@
+"""Detection rules the SOC runs over the forwarded log stream.
+
+The SOC's task 1 is to "aggregate and scan logs from across MDCs, SWS
+and FDS to identify potential attacks and raise alerts".  Rules here are
+windowed counters over the limited record format; each produces an
+:class:`Alert` with a severity and the principal to contain.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Alert",
+    "DetectionRule",
+    "ThresholdRule",
+    "DistinctTargetsRule",
+    "standard_rules",
+]
+
+
+@dataclass(frozen=True)
+class Alert:
+    time: float
+    rule: str
+    severity: str          # "low" | "medium" | "high" | "critical"
+    actor: str             # principal to contain (may be a source host)
+    summary: str
+    evidence_count: int
+
+
+class DetectionRule:
+    """Base class: feed records, maybe emit alerts.  Subclasses define a
+    ``name`` attribute identifying the rule in alerts."""
+
+    def observe(self, record: Dict[str, object]) -> Optional[Alert]:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class ThresholdRule(DetectionRule):
+    """Alert when ``count`` matching records from one actor land within
+    ``window`` seconds.  One alert per actor per window (no alert storms).
+    """
+
+    name: str
+    severity: str
+    window: float
+    count: int
+    summary: str
+    predicate: Callable[[Dict[str, object]], bool]
+    key: Callable[[Dict[str, object]], str] = field(
+        default=lambda r: str(r.get("actor", "")))
+    _hits: Dict[str, Deque[float]] = field(default_factory=lambda: defaultdict(deque))
+    _last_alert: Dict[str, float] = field(default_factory=dict)
+
+    def observe(self, record: Dict[str, object]) -> Optional[Alert]:
+        if not self.predicate(record):
+            return None
+        actor = self.key(record)
+        t = float(record.get("time", 0.0))
+        hits = self._hits[actor]
+        hits.append(t)
+        while hits and hits[0] <= t - self.window:
+            hits.popleft()
+        if len(hits) < self.count:
+            return None
+        last = self._last_alert.get(actor)
+        if last is not None and t - last < self.window:
+            return None
+        self._last_alert[actor] = t
+        return Alert(
+            time=t,
+            rule=self.name,
+            severity=self.severity,
+            actor=actor,
+            summary=self.summary.format(actor=actor, count=len(hits)),
+            evidence_count=len(hits),
+        )
+
+
+@dataclass
+class DistinctTargetsRule(DetectionRule):
+    """Alert when one actor touches ``count`` *distinct* resources
+    matching the predicate within ``window`` seconds — the signature of
+    scanning/lateral probing rather than repeated failures at one place.
+    """
+
+    name: str
+    severity: str
+    window: float
+    count: int
+    summary: str
+    predicate: Callable[[Dict[str, object]], bool]
+    _seen: Dict[str, Deque[Tuple[float, str]]] = field(
+        default_factory=lambda: defaultdict(deque))
+    _last_alert: Dict[str, float] = field(default_factory=dict)
+
+    def observe(self, record: Dict[str, object]) -> Optional[Alert]:
+        if not self.predicate(record):
+            return None
+        actor = str(record.get("actor", ""))
+        t = float(record.get("time", 0.0))
+        resource = str(record.get("resource", ""))
+        seen = self._seen[actor]
+        seen.append((t, resource))
+        while seen and seen[0][0] <= t - self.window:
+            seen.popleft()
+        distinct = {r for _, r in seen}
+        if len(distinct) < self.count:
+            return None
+        last = self._last_alert.get(actor)
+        if last is not None and t - last < self.window:
+            return None
+        self._last_alert[actor] = t
+        return Alert(
+            time=t, rule=self.name, severity=self.severity, actor=actor,
+            summary=self.summary.format(actor=actor, count=len(distinct)),
+            evidence_count=len(distinct),
+        )
+
+
+def _denied(action_prefix: str):
+    def pred(r: Dict[str, object]) -> bool:
+        return (str(r.get("action", "")).startswith(action_prefix)
+                and r.get("outcome") == "denied")
+    return pred
+
+
+def standard_rules() -> List[DetectionRule]:
+    """The default SOC rule pack."""
+    return [
+        ThresholdRule(
+            name="auth-bruteforce",
+            severity="high",
+            window=60.0,
+            count=5,
+            summary="{count} failed authentications for {actor} in 60s",
+            predicate=lambda r: (
+                str(r.get("action", "")).endswith(".login")
+                and r.get("outcome") == "denied"
+            ),
+        ),
+        ThresholdRule(
+            name="segmentation-probe",
+            severity="high",
+            window=30.0,
+            count=3,
+            summary="{actor} probed blocked network paths {count} times in 30s",
+            predicate=_denied("firewall."),
+        ),
+        ThresholdRule(
+            name="token-abuse",
+            severity="critical",
+            window=300.0,
+            count=1,
+            summary="authorization-code replay detected for {actor}",
+            predicate=lambda r: str(r.get("action", "")) == "token.code_replayed",
+        ),
+        ThresholdRule(
+            name="mgmt-access-denied",
+            severity="critical",
+            window=60.0,
+            count=2,
+            summary="{count} denied management-plane accesses by {actor}",
+            predicate=lambda r: (
+                str(r.get("action", "")).startswith("mgmt.")
+                and r.get("outcome") == "denied"
+            ) or (
+                str(r.get("action", "")) == "tailnet.relay"
+                and r.get("outcome") == "denied"
+            ),
+        ),
+        DistinctTargetsRule(
+            name="lateral-probe",
+            severity="high",
+            window=120.0,
+            count=3,
+            summary="{actor} probed {count} distinct blocked targets in 2 min",
+            predicate=_denied("firewall."),
+        ),
+        ThresholdRule(
+            name="environment-critical",
+            severity="medium",
+            window=600.0,
+            count=1,
+            summary="DCIM threshold breach: {actor}",
+            predicate=lambda r: str(r.get("action", "")) == "dcim.threshold",
+            key=lambda r: str(r.get("resource", r.get("actor", ""))),
+        ),
+        ThresholdRule(
+            name="ssh-cert-failures",
+            severity="medium",
+            window=120.0,
+            count=4,
+            summary="{count} rejected SSH sessions for {actor} in 2 min",
+            predicate=lambda r: (
+                str(r.get("action", "")) == "ssh.session"
+                and r.get("outcome") == "denied"
+            ),
+        ),
+    ]

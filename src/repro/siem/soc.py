@@ -1,0 +1,203 @@
+"""The Security Operations Centre in the Security Services domain.
+
+§III.D: a "virtual central Security Operations Centre" in public cloud,
+in a different account from FDS, following the AWS Security Reference
+Architecture.  Its three tasks — log aggregation/detection, VM
+inventory/vulnerability tracking, and configuration assessment — each
+have a module; this service ties them together and adds:
+
+* an ingest endpoint the log forwarders ship batches to;
+* alert storage with an escalation hook (the external NCC 24/7
+  monitoring service);
+* optional auto-containment: critical alerts trigger the kill switch
+  without waiting for a human.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.audit import AuditLog, Outcome
+from repro.broker.rbac import require_capability
+from repro.broker.tokens import RbacTokenValidator
+from repro.clock import SimClock
+from repro.errors import AuthenticationError
+from repro.net.http import HttpRequest, HttpResponse, Service, route
+from repro.siem.configassess import ConfigAssessment
+from repro.siem.detections import Alert, DetectionRule, standard_rules
+from repro.siem.inventory import AssetInventory
+from repro.siem.killswitch import KillSwitchController
+
+__all__ = ["SecurityOperationsCentre"]
+
+
+class SecurityOperationsCentre(Service):
+    """The SOC service (endpoint in SEC / Security zone).
+
+    Parameters
+    ----------
+    validator:
+        RBAC validator for audience ``"soc"`` — ingest uses service
+        tokens, the alert view requires ``soc.view``.
+    escalate:
+        Hook called with each alert (the external 24/7 monitoring
+        service).  Must not raise.
+    killswitch:
+        When set with ``auto_contain=True``, critical alerts trigger
+        :meth:`KillSwitchController.contain_user` on the alert's actor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        validator: RbacTokenValidator,
+        *,
+        audit: Optional[AuditLog] = None,
+        rules: Optional[List[DetectionRule]] = None,
+        escalate: Optional[Callable[[Alert], None]] = None,
+        killswitch: Optional[KillSwitchController] = None,
+        auto_contain: bool = False,
+        contain_severities: frozenset = frozenset({"critical", "high"}),
+    ) -> None:
+        super().__init__(name)
+        self.clock = clock
+        self.validator = validator
+        self.audit = audit if audit is not None else AuditLog(f"{name}-audit")
+        self.rules = rules if rules is not None else standard_rules()
+        self.escalate = escalate
+        self.killswitch = killswitch
+        self.auto_contain = auto_contain
+        self.contain_severities = frozenset(contain_severities)
+        # optional SPIFFE-style workload authentication for ingest: when
+        # set, shippers must present a valid SVID under allowed paths
+        self.trust_authority = None
+        self.allowed_svid_prefixes: tuple = ()
+        self.inventory = AssetInventory()
+        self.assessment = ConfigAssessment()
+        self.records_ingested = 0
+        self._records: List[Dict[str, object]] = []
+        self.alerts: List[Alert] = []
+        self.contained: List[str] = []
+
+    # ------------------------------------------------------------------
+    # ingest (called by forwarders, over the network or directly)
+    # ------------------------------------------------------------------
+    def ingest_batch(self, records: List[Dict[str, object]]) -> List[Alert]:
+        """Run every record through the rule pack; handle new alerts."""
+        new_alerts: List[Alert] = []
+        for record in records:
+            self._records.append(record)
+            self.records_ingested += 1
+            for rule in self.rules:
+                alert = rule.observe(record)
+                if alert is not None:
+                    new_alerts.append(alert)
+        for alert in new_alerts:
+            self._handle_alert(alert)
+        return new_alerts
+
+    def require_workload_identity(self, authority, *prefixes: str) -> None:
+        """Demand a valid SVID (under one of ``prefixes``) on ingest, in
+        addition to the service RBAC token — defence in depth for the
+        pipeline that feeds every detection."""
+        self.trust_authority = authority
+        self.allowed_svid_prefixes = tuple(prefixes)
+
+    @route("POST", "/ingest")
+    def ingest_endpoint(self, request: HttpRequest) -> HttpResponse:
+        token = request.bearer_token()
+        if token is None:
+            raise AuthenticationError("SOC ingest requires a service token")
+        claims = self.validator.validate(token)
+        require_capability(claims, "authz.query")  # service-role tokens
+        if self.trust_authority is not None:
+            svid = request.headers.get("X-Workload-SVID", "")
+            identity = self.trust_authority.validate_svid(svid)  # raises
+            if self.allowed_svid_prefixes and not any(
+                identity.matches(p) for p in self.allowed_svid_prefixes
+            ):
+                raise AuthenticationError(
+                    f"workload {identity.spiffe_id} may not ship logs"
+                )
+        records = request.body.get("records", [])
+        if not isinstance(records, list):
+            return HttpResponse.error(400, "records must be a list")
+        alerts = self.ingest_batch(records)
+        return HttpResponse.json({"ingested": len(records), "alerts": len(alerts)})
+
+    def _handle_alert(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+        self.audit.record(
+            alert.time, self.name, alert.actor, f"alert.{alert.rule}",
+            alert.summary, Outcome.INFO, severity=alert.severity,
+        )
+        if self.escalate is not None:
+            try:
+                self.escalate(alert)
+            except Exception:
+                pass  # the external service must never break ingestion
+        if (
+            self.auto_contain
+            and self.killswitch is not None
+            and alert.severity in self.contain_severities
+            and alert.actor
+            and alert.actor not in self.contained
+        ):
+            self.killswitch.contain_user(alert.actor)
+            self.contained.append(alert.actor)
+
+    # ------------------------------------------------------------------
+    # views (admin-security role)
+    # ------------------------------------------------------------------
+    @route("GET", "/alerts")
+    def alerts_view(self, request: HttpRequest) -> HttpResponse:
+        token = request.bearer_token()
+        if token is None:
+            raise AuthenticationError("viewing alerts requires an RBAC token")
+        claims = self.validator.validate(token)
+        require_capability(claims, "soc.view")
+        return HttpResponse.json(
+            {
+                "alerts": [
+                    {
+                        "time": a.time, "rule": a.rule, "severity": a.severity,
+                        "actor": a.actor, "summary": a.summary,
+                    }
+                    for a in self.alerts
+                ],
+                "records_ingested": self.records_ingested,
+            }
+        )
+
+    @route("GET", "/posture")
+    def posture_view(self, request: HttpRequest) -> HttpResponse:
+        """Inventory scan + configuration assessment in one report."""
+        token = request.bearer_token()
+        if token is None:
+            raise AuthenticationError("viewing posture requires an RBAC token")
+        claims = self.validator.validate(token)
+        require_capability(claims, "soc.view")
+        findings = self.inventory.scan()
+        results = self.assessment.run()
+        return HttpResponse.json(
+            {
+                "assets": len(self.inventory.assets()),
+                "vulnerability_findings": [
+                    {"asset": f.asset, "advisory": f.advisory_id,
+                     "severity": f.severity}
+                    for f in findings
+                ],
+                "config_checks": [
+                    {"id": r.check_id, "title": r.title, "passed": r.passed,
+                     "evidence": r.evidence}
+                    for r in results
+                ],
+                "config_score": self.assessment.score(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def records(self) -> List[Dict[str, object]]:
+        return list(self._records)

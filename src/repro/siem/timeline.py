@@ -1,0 +1,130 @@
+"""Incident timeline reconstruction — the SOC analyst's first tool.
+
+Given a principal (or any identifier that appears in events), pull every
+related record from the combined audit trail into one chronological
+narrative: which identities map to it, what succeeded, what was denied,
+when detections fired and when containment landed.  The cross-domain
+correlation works because identifiers are threaded through the system
+deliberately: the broker subject appears in token mints, the unix
+account in SSH/bastion events, the jti links a mint to later denials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from repro.audit import AuditEvent
+
+__all__ = ["TimelineEntry", "IncidentTimeline", "build_timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    time: float
+    domain: str
+    source: str
+    action: str
+    outcome: str
+    detail: str
+
+
+@dataclass
+class IncidentTimeline:
+    subject: str
+    correlated_ids: Set[str]
+    entries: List[TimelineEntry]
+
+    @property
+    def first_seen(self) -> Optional[float]:
+        return self.entries[0].time if self.entries else None
+
+    @property
+    def last_seen(self) -> Optional[float]:
+        return self.entries[-1].time if self.entries else None
+
+    def denials(self) -> List[TimelineEntry]:
+        return [e for e in self.entries if e.outcome == "denied"]
+
+    def containment(self) -> Optional[TimelineEntry]:
+        for e in self.entries:
+            if e.action.startswith("killswitch.") or e.action.endswith(".flag"):
+                return e
+        return None
+
+    def render(self) -> str:
+        lines = [
+            f"INCIDENT TIMELINE for {self.subject}",
+            f"correlated identifiers: {sorted(self.correlated_ids)}",
+            f"{len(self.entries)} events, {len(self.denials())} denials",
+            "",
+        ]
+        for e in self.entries:
+            mark = {"denied": "!", "error": "E", "success": " ",
+                    "info": " "}.get(e.outcome, "?")
+            lines.append(
+                f"  t={e.time:10.3f} [{mark}] {e.domain or '-':<8} "
+                f"{e.source:<14} {e.action:<26} {e.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _related(event: AuditEvent, ids: Set[str]) -> bool:
+    if event.actor in ids or event.resource in ids:
+        return True
+    return any(
+        isinstance(v, str) and v in ids for v in event.attrs.values()
+    )
+
+
+def build_timeline(dri, subject: str, *, max_passes: int = 3) -> IncidentTimeline:
+    """Correlate everything about ``subject`` across the audit trail.
+
+    Correlation expands transitively (bounded by ``max_passes``): the
+    subject's token jtis, unix accounts, session ids and tailnet node
+    ids found in pass *n* pull in the events that reference them in
+    pass *n+1*.
+    """
+    events = dri.audit.events()
+    # identifiers must be specific to the incident: infrastructure names
+    # (endpoints), system actors and prose (alert summaries) are excluded
+    # or correlation would snowball through shared services like the SOC
+    infrastructure = {ep.name for ep in dri.network.endpoints()}
+    infrastructure |= {"system", "network", "killswitch", "operator",
+                       "dcim", "soc", "ops", "*", ""}
+
+    def usable(candidate: str) -> bool:
+        return (bool(candidate) and candidate not in infrastructure
+                and " " not in candidate)
+
+    ids: Set[str] = {subject}
+    matched: List[AuditEvent] = []
+    for _pass in range(max_passes):
+        matched = [e for e in events if _related(e, ids)]
+        expanded = set(ids)
+        for e in matched:
+            # when one side of an event is a known identifier, the other
+            # side joins the correlation (actor <-> resource pivot)
+            if e.actor in ids and usable(e.resource):
+                expanded.add(e.resource)
+            if e.resource in ids and usable(e.actor):
+                expanded.add(e.actor)
+        if expanded == ids:
+            break
+        ids = expanded
+
+    entries = [
+        TimelineEntry(
+            time=e.time,
+            domain=e.domain,
+            source=e.source,
+            action=e.action,
+            outcome=e.outcome,
+            detail=(f"{e.actor} -> {e.resource}"
+                    + (f" ({e.attrs.get('reason')})"
+                       if e.attrs.get("reason") else "")),
+        )
+        for e in sorted(matched, key=lambda e: (e.time, e.source))
+    ]
+    return IncidentTimeline(subject=subject, correlated_ids=ids,
+                            entries=entries)

@@ -1,0 +1,30 @@
+"""SSH certificate authority, client app, HA bastion and login-node sshd."""
+
+from repro.sshca.bastion import BastionSet, BastionVm
+from repro.sshca.ca import SshCertificateAuthority
+from repro.sshca.certificate import (
+    SshCertificate,
+    SshKeyPair,
+    issue_certificate,
+    issue_host_certificate,
+    validate_certificate,
+    validate_host_certificate,
+)
+from repro.sshca.client import SshCertClient, SshConfigEntry
+from repro.sshca.sshd import LoginNodeSshd, SshSession
+
+__all__ = [
+    "SshCertificateAuthority",
+    "SshCertClient",
+    "SshConfigEntry",
+    "SshKeyPair",
+    "SshCertificate",
+    "issue_certificate",
+    "validate_certificate",
+    "issue_host_certificate",
+    "validate_host_certificate",
+    "BastionSet",
+    "BastionVm",
+    "LoginNodeSshd",
+    "SshSession",
+]

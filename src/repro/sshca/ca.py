@@ -1,0 +1,139 @@
+"""The SSH certificate authority hosted in Front Door Services.
+
+§III.C: "FDS hosts a SSH certificate authority (CA) which is used to
+generate time-limited SSH certificates ...  the identity broker
+authenticates the user, the portal asserts that access is permitted, and
+the identity broker is provided with the list of project-specific Linux
+user accounts ... This information is routed from the identity broker to
+the SSH CA, which signs the user's public key."
+
+Accordingly the CA's ``/sign`` endpoint accepts requests **only from the
+identity broker** (service RBAC token with the ``ca.sign`` capability)
+and never decides authorisation itself — it signs exactly the principals
+the broker routed to it, bounded by its maximum certificate lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.audit import AuditLog, Outcome
+from repro.broker.rbac import require_capability
+from repro.broker.tokens import RbacTokenValidator
+from repro.clock import SimClock
+from repro.crypto.keys import VerifyingKey, generate_signing_key
+from repro.errors import AuthenticationError, CertificateError
+from repro.net.http import HttpRequest, HttpResponse, Service, route
+from repro.sshca.certificate import issue_certificate
+
+__all__ = ["SshCertificateAuthority"]
+
+
+class SshCertificateAuthority(Service):
+    """Signs short-lived user certificates on the broker's instruction.
+
+    Parameters
+    ----------
+    validator:
+        RBAC validator for audience ``"ssh-ca"`` (broker-issued service
+        tokens).
+    cert_ttl, max_cert_ttl:
+        Default and maximum certificate lifetimes in seconds.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        validator: RbacTokenValidator,
+        *,
+        audit: Optional[AuditLog] = None,
+        cert_ttl: float = 4 * 3600.0,
+        max_cert_ttl: float = 12 * 3600.0,
+    ) -> None:
+        super().__init__(name)
+        self.clock = clock
+        self.validator = validator
+        self.audit = audit if audit is not None else AuditLog(f"{name}-audit")
+        self.cert_ttl = cert_ttl
+        self.max_cert_ttl = max_cert_ttl
+        self.ca_key = generate_signing_key("EdDSA", kid=f"{name}-ca-key")
+        self._serial = 0
+        self.certificates_issued = 0
+
+    def ca_public_key(self) -> VerifyingKey:
+        """The key login nodes trust (provisioned at cluster build time)."""
+        return self.ca_key.public()
+
+    def provision_host_certificate(
+        self, hostname: str, host_public_key_jwk: Dict[str, object],
+        *, ttl: float = 365 * 24 * 3600.0,
+    ) -> str:
+        """Sign a host certificate (operator provisioning, not a route:
+        host keys are enrolled at cluster build time, not over the wire)."""
+        from repro.sshca.certificate import issue_host_certificate
+
+        self._serial += 1
+        now = self.clock.now()
+        wire = issue_host_certificate(
+            self.ca_key,
+            serial=self._serial,
+            hostname=hostname,
+            host_public_key_jwk=dict(host_public_key_jwk),  # type: ignore[arg-type]
+            valid_after=now,
+            valid_before=now + ttl,
+        )
+        self.log_event("operator", "ca.sign_host", hostname,
+            Outcome.SUCCESS, serial=self._serial,
+        )
+        return wire
+
+    @route("POST", "/sign")
+    def sign(self, request: HttpRequest) -> HttpResponse:
+        """Sign a user's public key for the principals the broker asserts."""
+        token = request.bearer_token()
+        if token is None:
+            raise AuthenticationError("CA signing requires the broker's service token")
+        claims = self.validator.validate(token)
+        require_capability(claims, "ca.sign")
+
+        key_id = str(request.body.get("key_id", ""))
+        public_key_jwk = request.body.get("public_key_jwk")
+        principals = request.body.get("principals")
+        ttl = float(request.body.get("ttl") or self.cert_ttl)
+        if not key_id or not isinstance(public_key_jwk, dict):
+            return HttpResponse.error(400, "key_id and public_key_jwk required")
+        if not isinstance(principals, list) or not principals:
+            self.log_event(key_id, "ca.sign", "", Outcome.DENIED,
+                reason="no-principals",
+            )
+            raise CertificateError("refusing to sign a certificate with no principals")
+        ttl = min(ttl, self.max_cert_ttl)
+        now = self.clock.now()
+        self._serial += 1
+        wire = issue_certificate(
+            self.ca_key,
+            serial=self._serial,
+            key_id=key_id,
+            public_key_jwk=public_key_jwk,
+            principals=[str(p) for p in principals],
+            valid_after=now,
+            valid_before=now + ttl,
+            extensions={"issued_via": str(claims["sub"])},
+        )
+        self.certificates_issued += 1
+        self.log_event(key_id, "ca.sign", f"serial-{self._serial}",
+            Outcome.SUCCESS, principals=list(principals), ttl=ttl,
+        )
+        from repro.crypto.jwk import public_jwk
+
+        return HttpResponse.json(
+            {
+                "certificate": wire,
+                "serial": self._serial,
+                "valid_before": now + ttl,
+                "principals": sorted(str(p) for p in principals),
+                # clients pin the CA key so they can verify host certs
+                "ca_public_key_jwk": public_jwk(self.ca_key.public()),
+            }
+        )

@@ -1,0 +1,159 @@
+"""Certificate-validating sshd on the MDC login nodes.
+
+The login node trusts exactly one thing: the SSH CA's public key,
+provisioned at build time.  Each connection presents a certificate, a
+requested principal and a proof-of-possession signature; sshd checks all
+of it against the simulated clock, confirms the UNIX account still
+exists (the cluster's user database is synchronised from the portal, so
+revoked accounts are gone), and opens a time-limited session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.audit import AuditLog, Outcome
+from repro.clock import SimClock
+from repro.crypto.keys import VerifyingKey
+from repro.errors import CertificateError
+from repro.net.http import HttpRequest, HttpResponse, Service, route
+from repro.sshca.certificate import validate_certificate
+
+__all__ = ["SshSession", "LoginNodeSshd"]
+
+
+@dataclass
+class SshSession:
+    """An interactive session on a login node."""
+
+    session_id: str
+    principal: str
+    key_id: str       # federated identity, for audit
+    opened_at: float
+    expires_at: float
+    closed: bool = False
+
+    def active(self, now: float) -> bool:
+        return not self.closed and now < self.expires_at
+
+
+class LoginNodeSshd(Service):
+    """sshd bound to one login node endpoint.
+
+    Parameters
+    ----------
+    ca_public_key:
+        The CA key this node trusts.
+    account_exists:
+        Callable ``username -> bool`` backed by the cluster user database
+        (tombstoned portal accounts make this return False).
+    session_ttl:
+        Maximum interactive session length before forced re-auth.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        ca_public_key: VerifyingKey,
+        account_exists: Callable[[str], bool],
+        *,
+        audit: Optional[AuditLog] = None,
+        session_ttl: float = 8 * 3600.0,
+    ) -> None:
+        super().__init__(name)
+        self.clock = clock
+        self.ca_public_key = ca_public_key
+        self.account_exists = account_exists
+        self.audit = audit if audit is not None else AuditLog(f"{name}-audit")
+        self.session_ttl = session_ttl
+        self._sessions: Dict[str, SshSession] = {}
+        self._next_session = 0
+        # host identity: the node's own keypair plus a CA-signed host
+        # certificate (installed by install_host_certificate at build time)
+        from repro.sshca.certificate import SshKeyPair
+
+        self.host_keypair = SshKeyPair.generate()
+        self.host_certificate: Optional[str] = None
+
+    def install_host_certificate(self, wire: str) -> None:
+        """Operator provisioning: the CA-signed certificate for this host."""
+        self.host_certificate = wire
+
+    @route("POST", "/session")
+    def open_session(self, request: HttpRequest) -> HttpResponse:
+        """Validate the certificate and open a session."""
+        principal = str(request.body.get("principal", ""))
+        wire = str(request.body.get("certificate", ""))
+        proof_hex = str(request.body.get("proof", ""))
+        now = self.clock.now()
+        try:
+            proof = bytes.fromhex(proof_hex)
+        except ValueError:
+            proof = b""
+        challenge = f"{self.name}|{principal}".encode()
+        try:
+            cert = validate_certificate(
+                wire, self.ca_public_key, self.clock,
+                principal=principal, challenge=challenge, proof=proof,
+            )
+        except CertificateError as exc:
+            self.log_event(principal, "ssh.session", "", Outcome.DENIED,
+                reason=str(exc), jump=request.headers.get("X-Jump-Host", ""),
+            )
+            raise
+        if not self.account_exists(principal):
+            self.log_event(principal, "ssh.session", "", Outcome.DENIED,
+                reason="no-such-account",
+            )
+            raise CertificateError(
+                f"account {principal!r} does not exist on this cluster"
+            )
+        self._next_session += 1
+        session = SshSession(
+            session_id=f"{self.name}-ssh-{self._next_session}",
+            principal=principal,
+            key_id=cert.key_id,
+            opened_at=now,
+            expires_at=min(now + self.session_ttl, cert.valid_before),
+        )
+        self._sessions[session.session_id] = session
+        self.log_event(principal, "ssh.session", session.session_id,
+            Outcome.SUCCESS, key_id=cert.key_id, serial=cert.serial,
+        )
+        body: Dict[str, object] = {
+            "session_id": session.session_id,
+            "principal": principal,
+            "expires_at": session.expires_at,
+            "motd": f"Welcome to {self.name} (Isambard DRI)",
+        }
+        if self.host_certificate is not None:
+            # mutual auth: prove *our* identity over the same challenge
+            body["host_certificate"] = self.host_certificate
+            body["host_proof"] = self.host_keypair.key.sign(
+                b"host-proof:" + challenge
+            ).hex()
+        return HttpResponse.json(body)
+
+    # ------------------------------------------------------------------
+    def sessions(self, *, active_only: bool = True) -> List[SshSession]:
+        now = self.clock.now()
+        return [
+            s for s in self._sessions.values()
+            if not active_only or s.active(now)
+        ]
+
+    def close_sessions_for(self, principal: str) -> int:
+        """Sever live sessions of a principal (kill-switch follow-through)."""
+        n = 0
+        now = self.clock.now()
+        for s in self._sessions.values():
+            if s.principal == principal and s.active(now):
+                s.closed = True
+                n += 1
+        if n:
+            self.log_event("killswitch", "ssh.sessions_closed", principal,
+                Outcome.INFO, count=n,
+            )
+        return n

@@ -1,0 +1,16 @@
+"""Tunnels: Zenith reverse tunnels, the zero-trust edge, and the tailnet."""
+
+from repro.tunnels.cloudflare import CloudflareEdge
+from repro.tunnels.tailnet import TailnetAcl, TailnetCoordinator, TailnetNode
+from repro.tunnels.zenith import TOKEN_HEADER, TunnelRecord, ZenithClient, ZenithServer
+
+__all__ = [
+    "ZenithServer",
+    "ZenithClient",
+    "TunnelRecord",
+    "TOKEN_HEADER",
+    "CloudflareEdge",
+    "TailnetCoordinator",
+    "TailnetNode",
+    "TailnetAcl",
+]

@@ -1,0 +1,130 @@
+"""Zero-trust edge in front of the Access zone (Cloudflare-tunnel model).
+
+§III.C: FDS services "are exposed via Cloudflare zero-trust reverse
+tunnels ... mitigating distributed denial of service (DDoS) attacks and
+automatically blocking access that Cloudflare has determined to be a
+threat."
+
+The edge terminates all public traffic:
+
+* **origins register via reverse tunnel** — the FDS origin dials out, so
+  the VPC needs no inbound opening;
+* **rate limiting / DDoS mitigation** — a sliding-window request counter
+  per source; exceeding the limit throttles, and sustained abuse gets
+  the source blocked;
+* **threat intelligence** — a block list that can be fed externally
+  (the simulated "Cloudflare has determined it is a threat").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Set
+
+from repro.audit import AuditLog, Outcome
+from repro.clock import SimClock
+from repro.errors import RateLimited, ServiceUnavailable
+from repro.net.http import HttpRequest, HttpResponse, Service
+
+__all__ = ["CloudflareEdge"]
+
+
+class CloudflareEdge(Service):
+    """The public entry point; everything else hides behind it.
+
+    Request paths are ``/<origin>/<inner-path>``: the first segment picks
+    the registered origin, the rest is forwarded over the tunnel.
+
+    Parameters
+    ----------
+    window, rate_limit:
+        Sliding-window size (seconds) and max requests per source within
+        it.  ``block_threshold`` consecutive limit hits block the source.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        *,
+        audit: Optional[AuditLog] = None,
+        window: float = 10.0,
+        rate_limit: int = 50,
+        block_threshold: int = 3,
+    ) -> None:
+        super().__init__(name)
+        self.clock = clock
+        self.audit = audit if audit is not None else AuditLog(f"{name}-audit")
+        self.window = window
+        self.rate_limit = rate_limit
+        self.block_threshold = block_threshold
+        self._origins: Dict[str, Service] = {}
+        self._hits: Dict[str, Deque[float]] = defaultdict(deque)
+        self._violations: Dict[str, int] = defaultdict(int)
+        self.blocked_sources: Set[str] = set()
+        self.requests_passed = 0
+        self.requests_blocked = 0
+
+    # ------------------------------------------------------------------
+    def register_origin(self, name: str, origin: Service) -> None:
+        """The origin's outbound tunnel registration (deployment step)."""
+        self._origins[name] = origin
+
+    def block_source(self, source: str) -> None:
+        """External threat-intel block (or manual kill of a client)."""
+        self.blocked_sources.add(source)
+        self.log_event("threat-intel", "edge.block", source,
+            Outcome.INFO,
+        )
+
+    def unblock_source(self, source: str) -> None:
+        self.blocked_sources.discard(source)
+        self._violations.pop(source, None)
+
+    # ------------------------------------------------------------------
+    def _rate_ok(self, source: str, now: float) -> bool:
+        hits = self._hits[source]
+        while hits and hits[0] <= now - self.window:
+            hits.popleft()
+        hits.append(now)
+        if len(hits) <= self.rate_limit:
+            return False if source in self.blocked_sources else True
+        self._violations[source] += 1
+        if self._violations[source] >= self.block_threshold:
+            self.block_source(source)
+        return False
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Edge processing happens before any routing."""
+        now = self.clock.now()
+        source = request.source or "unknown"
+        if source in self.blocked_sources or not self._rate_ok(source, now):
+            self.requests_blocked += 1
+            self.log_event(source, "edge.deny", request.path, Outcome.DENIED,
+                blocked=source in self.blocked_sources,
+            )
+            return HttpResponse.error(
+                429, "request blocked by the zero-trust edge",
+                error_type=RateLimited.__name__,
+            )
+
+        parts = request.path.lstrip("/").split("/", 1)
+        origin_name = parts[0] if parts else ""
+        origin = self._origins.get(origin_name)
+        if origin is None:
+            return HttpResponse.error(404, f"no origin {origin_name!r} behind this edge")
+        inner_path = "/" + (parts[1] if len(parts) > 1 else "")
+        inner = HttpRequest(
+            method=request.method,
+            path=inner_path,
+            headers=dict(request.headers),
+            query=dict(request.query),
+            body=dict(request.body),
+            source=request.source,
+        )
+        inner.headers["CF-Connecting-IP"] = source
+        self.requests_passed += 1
+        # delivery over the origin's reverse tunnel (client-initiated, so
+        # no inbound firewall opening is involved)
+        return origin.handle(inner)

@@ -1,0 +1,109 @@
+"""Unit tests for the audit event stream."""
+
+import pytest
+
+from repro.audit import AuditEvent, AuditLog, Outcome
+
+
+def make_event(**overrides):
+    base = dict(
+        time=1.0,
+        source="broker",
+        actor="alice",
+        action="token.issue",
+        resource="jti-1",
+        outcome=Outcome.SUCCESS,
+    )
+    base.update(overrides)
+    return AuditEvent(**base)
+
+
+def test_emit_and_len():
+    log = AuditLog()
+    log.emit(make_event())
+    log.emit(make_event(action="token.revoke"))
+    assert len(log) == 2
+
+
+def test_emit_rejects_unknown_outcome():
+    log = AuditLog()
+    with pytest.raises(ValueError):
+        log.emit(make_event(outcome="maybe"))
+
+
+def test_record_convenience_builds_event():
+    log = AuditLog()
+    ev = log.record(
+        2.0, "portal", "bob", "project.create", "proj-1", Outcome.SUCCESS,
+        domain="fds", zone="access", size=3,
+    )
+    assert ev.attrs == {"size": 3}
+    assert ev.domain == "fds"
+    assert log.events()[-1] is ev
+
+
+def test_query_filters_by_fields():
+    log = AuditLog()
+    log.emit(make_event(actor="alice", action="login"))
+    log.emit(make_event(actor="bob", action="login", outcome=Outcome.DENIED))
+    log.emit(make_event(actor="alice", action="logout"))
+    assert len(log.query(actor="alice")) == 2
+    assert len(log.query(action="login")) == 2
+    assert len(log.query(action="login", outcome=Outcome.DENIED)) == 1
+    assert log.count(actor="carol") == 0
+
+
+def test_query_since_timestamp():
+    log = AuditLog()
+    log.emit(make_event(time=1.0))
+    log.emit(make_event(time=5.0))
+    assert len(log.query(since=2.0)) == 1
+
+
+def test_subscribers_receive_events_live():
+    log = AuditLog()
+    seen = []
+    log.subscribe(seen.append)
+    ev = make_event()
+    log.emit(ev)
+    assert seen == [ev]
+
+
+def test_broken_subscriber_is_detached_not_fatal():
+    log = AuditLog()
+
+    def bad(_event):
+        raise RuntimeError("forwarder crashed")
+
+    good = []
+    log.subscribe(bad)
+    log.subscribe(good.append)
+    log.emit(make_event())
+    assert log.dropped_subscribers == 1
+    # second emit no longer touches the dead subscriber
+    log.emit(make_event())
+    assert len(good) == 2
+
+
+def test_unsubscribe_stops_delivery():
+    log = AuditLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.unsubscribe(seen.append)
+    log.emit(make_event())
+    assert seen == []
+
+
+def test_events_returns_copy():
+    log = AuditLog()
+    log.emit(make_event())
+    events = log.events()
+    events.clear()
+    assert len(log) == 1
+
+
+def test_matches_helper():
+    ev = make_event(actor="alice", action="login", source="idp")
+    assert ev.matches(actor="alice", action="login")
+    assert not ev.matches(actor="bob")
+    assert not ev.matches(source="portal")

@@ -1,0 +1,118 @@
+"""Unit tests for the simulated clock and its event scheduler."""
+
+import pytest
+
+from repro.clock import SimClock
+
+
+def test_starts_at_given_time():
+    assert SimClock().now() == 0.0
+    assert SimClock(start=100.5).now() == 100.5
+
+
+def test_advance_moves_time_forward():
+    clock = SimClock()
+    clock.advance(10)
+    assert clock.now() == 10
+    clock.advance(0.5)
+    assert clock.now() == 10.5
+
+
+def test_advance_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_run_until_rejects_past_deadline():
+    clock = SimClock(start=50)
+    with pytest.raises(ValueError):
+        clock.run_until(49)
+
+
+def test_call_later_fires_on_advance():
+    clock = SimClock()
+    fired = []
+    clock.call_later(5, lambda: fired.append(clock.now()))
+    clock.advance(4.9)
+    assert fired == []
+    clock.advance(0.2)
+    assert fired == [5.0]
+
+
+def test_call_at_rejects_past():
+    clock = SimClock(start=10)
+    with pytest.raises(ValueError):
+        clock.call_at(9, lambda: None)
+
+
+def test_events_fire_in_time_then_registration_order():
+    clock = SimClock()
+    order = []
+    clock.call_later(2, lambda: order.append("b"))
+    clock.call_later(1, lambda: order.append("a"))
+    clock.call_later(2, lambda: order.append("c"))
+    clock.advance(3)
+    assert order == ["a", "b", "c"]
+
+
+def test_callback_observes_its_scheduled_time():
+    clock = SimClock()
+    seen = []
+    clock.call_later(7, lambda: seen.append(clock.now()))
+    clock.advance(100)
+    assert seen == [7.0]
+    assert clock.now() == 100
+
+
+def test_cancelled_event_does_not_fire():
+    clock = SimClock()
+    fired = []
+    ev = clock.call_later(1, lambda: fired.append(1))
+    ev.cancel()
+    clock.advance(2)
+    assert fired == []
+    assert clock.pending_events() == 0
+
+
+def test_event_may_schedule_followup_within_window():
+    clock = SimClock()
+    hits = []
+
+    def first():
+        hits.append(("first", clock.now()))
+        clock.call_later(1, lambda: hits.append(("second", clock.now())))
+
+    clock.call_later(1, first)
+    clock.advance(5)
+    assert hits == [("first", 1.0), ("second", 2.0)]
+
+
+def test_run_all_fires_everything():
+    clock = SimClock()
+    fired = []
+    for delay in (100, 5, 30):
+        clock.call_later(delay, lambda d=delay: fired.append(d))
+    clock.run_all()
+    assert fired == [5, 30, 100]
+    assert clock.now() == 100
+
+
+def test_run_all_guards_against_runaway():
+    clock = SimClock()
+
+    def reschedule():
+        clock.call_later(1, reschedule)
+
+    clock.call_later(1, reschedule)
+    with pytest.raises(RuntimeError):
+        clock.run_all(limit=50)
+
+
+def test_pending_events_counts_uncancelled():
+    clock = SimClock()
+    e1 = clock.call_later(1, lambda: None)
+    clock.call_later(2, lambda: None)
+    assert clock.pending_events() == 2
+    e1.cancel()
+    assert clock.pending_events() == 1

@@ -1,0 +1,132 @@
+"""Tests for JWT claim validation against the simulated clock."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.crypto import JwkSet, JwtValidator, decode_unverified, encode_jwt
+from repro.crypto.keys import generate_signing_key
+from repro.errors import (
+    AudienceMismatch,
+    ClaimMissing,
+    IssuerMismatch,
+    SignatureInvalid,
+    TokenExpired,
+    TokenNotYetValid,
+)
+
+ISS = "https://broker.isambard.example"
+AUD = "login-node"
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_signing_key("EdDSA", kid="jwt-key")
+
+
+@pytest.fixture()
+def clock():
+    return SimClock(start=1000.0)
+
+
+@pytest.fixture()
+def validator(clock, key):
+    return JwtValidator(
+        clock, ISS, AUD, JwkSet([key.public()]), leeway=5.0,
+        required_claims=("sub",),
+    )
+
+
+def mint(key, clock, **overrides):
+    claims = {
+        "iss": ISS,
+        "aud": AUD,
+        "sub": "alice",
+        "iat": clock.now(),
+        "exp": clock.now() + 300,
+    }
+    claims.update(overrides)
+    claims = {k: v for k, v in claims.items() if v is not None}
+    return encode_jwt(claims, key)
+
+
+def test_valid_token_returns_claims(validator, key, clock):
+    claims = validator.validate(mint(key, clock))
+    assert claims["sub"] == "alice"
+
+
+def test_expired_token_rejected(validator, key, clock):
+    token = mint(key, clock, exp=clock.now() + 10)
+    clock.advance(16)  # beyond exp + leeway
+    with pytest.raises(TokenExpired):
+        validator.validate(token)
+
+
+def test_leeway_tolerates_small_skew(validator, key, clock):
+    token = mint(key, clock, exp=clock.now() + 10)
+    clock.advance(13)  # past exp but within 5s leeway
+    assert validator.validate(token)["sub"] == "alice"
+
+
+def test_missing_exp_rejected(validator, key, clock):
+    with pytest.raises(ClaimMissing):
+        validator.validate(mint(key, clock, exp=None))
+
+
+def test_non_numeric_exp_rejected(validator, key, clock):
+    with pytest.raises(ClaimMissing):
+        validator.validate(mint(key, clock, exp="later"))
+
+
+def test_nbf_in_future_rejected(validator, key, clock):
+    token = mint(key, clock, nbf=clock.now() + 100)
+    with pytest.raises(TokenNotYetValid):
+        validator.validate(token)
+    clock.advance(100)
+    assert validator.validate(token)
+
+
+def test_wrong_issuer_rejected(validator, key, clock):
+    with pytest.raises(IssuerMismatch):
+        validator.validate(mint(key, clock, iss="https://evil.example"))
+
+
+def test_wrong_audience_rejected(validator, key, clock):
+    with pytest.raises(AudienceMismatch):
+        validator.validate(mint(key, clock, aud="other-service"))
+
+
+def test_audience_list_accepted(validator, key, clock):
+    token = mint(key, clock, aud=["other", AUD])
+    assert validator.validate(token)
+
+
+def test_missing_audience_rejected(validator, key, clock):
+    with pytest.raises(AudienceMismatch):
+        validator.validate(mint(key, clock, aud=None))
+
+
+def test_audience_check_disabled_when_none(clock, key):
+    v = JwtValidator(clock, ISS, None, JwkSet([key.public()]))
+    token = mint(key, clock, aud="anything")
+    assert v.validate(token)["aud"] == "anything"
+
+
+def test_required_claim_missing_rejected(validator, key, clock):
+    with pytest.raises(ClaimMissing):
+        validator.validate(mint(key, clock, sub=None))
+
+
+def test_token_signed_by_unknown_key_rejected(validator, clock):
+    rogue = generate_signing_key("EdDSA", kid="rogue")
+    with pytest.raises(SignatureInvalid):
+        validator.validate(mint(rogue, clock))
+
+
+def test_decode_unverified_reads_payload(key, clock):
+    token = mint(key, clock, sub="bob")
+    assert decode_unverified(token)["sub"] == "bob"
+
+
+def test_decode_unverified_rejects_garbage():
+    with pytest.raises(SignatureInvalid):
+        decode_unverified("not-a-jwt")

@@ -1,0 +1,70 @@
+"""Tests for the advanced detection rules and end-to-end SOC behaviour."""
+
+import pytest
+
+from repro.core import ThreatModel, build_isambard
+from repro.errors import ConnectionBlocked
+from repro.net.http import HttpRequest
+from repro.siem import DistinctTargetsRule, standard_rules
+
+
+def record(t, action, actor="mallory", outcome="denied", resource="r"):
+    return {"time": t, "action": action, "actor": actor,
+            "outcome": outcome, "resource": resource}
+
+
+def lateral_rule():
+    return [r for r in standard_rules() if r.name == "lateral-probe"][0]
+
+
+def test_lateral_probe_needs_distinct_targets():
+    rule = lateral_rule()
+    # hammering ONE target does not look like scanning
+    for i in range(10):
+        assert rule.observe(record(float(i), "firewall.deny",
+                                   resource="login-node")) is None
+
+
+def test_lateral_probe_fires_on_three_distinct_targets():
+    rule = lateral_rule()
+    alerts = [
+        rule.observe(record(0.0, "firewall.deny", resource="login-node")),
+        rule.observe(record(1.0, "firewall.deny", resource="mgmt-node")),
+        rule.observe(record(2.0, "firewall.deny", resource="soc")),
+    ]
+    fired = [a for a in alerts if a]
+    assert len(fired) == 1
+    assert fired[0].rule == "lateral-probe" and fired[0].severity == "high"
+
+
+def test_lateral_probe_window_slides():
+    rule = lateral_rule()
+    assert rule.observe(record(0.0, "firewall.deny", resource="a")) is None
+    assert rule.observe(record(200.0, "firewall.deny", resource="b")) is None
+    assert rule.observe(record(400.0, "firewall.deny", resource="c")) is None
+
+
+def test_lateral_probe_ignores_allowed_traffic():
+    rule = lateral_rule()
+    for i, res in enumerate(("a", "b", "c", "d")):
+        assert rule.observe(record(float(i), "firewall.deny",
+                                   outcome="success", resource=res)) is None
+
+
+def test_end_to_end_scanner_gets_contained():
+    """An attacker probing multiple protected endpoints is detected via
+    the firewall-deny stream and contained by the kill switch."""
+    dri = build_isambard(seed=67, forward_interval=2.0)
+    from repro.net import OperatingDomain, Service, Zone
+
+    dri.network.attach(Service("scanner-host"),
+                       OperatingDomain.EXTERNAL, Zone.INTERNET)
+    for target in ("login-node", "mgmt-node", "jupyter", "soc"):
+        with pytest.raises(ConnectionBlocked):
+            dri.network.request("scanner-host", target,
+                                HttpRequest("GET", "/"), port=443)
+        dri.clock.advance(1.0)
+    dri.clock.advance(5.0)  # let the forwarders ship
+    rules_fired = {a.rule for a in dri.soc.alerts}
+    assert {"segmentation-probe", "lateral-probe"} & rules_fired
+    assert "scanner-host" in dri.soc.contained

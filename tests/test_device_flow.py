@@ -1,0 +1,169 @@
+"""Tests for the RFC 8628 device-authorization grant, including the
+headless-workstation SSH certificate journey."""
+
+import pytest
+
+from repro.core import build_isambard
+from repro.net import HttpRequest, OperatingDomain, Service, Zone
+from repro.oidc import make_url
+
+
+def start_flow(provider, client_id="app-client", scope="openid profile"):
+    return provider.handle(HttpRequest(
+        "POST", "/device_authorization",
+        body={"client_id": client_id, "scope": scope},
+    ))
+
+
+def poll(provider, device_code, client_id="app-client"):
+    return provider.handle(HttpRequest(
+        "POST", "/token",
+        body={"grant_type": "urn:ietf:params:oauth:grant-type:device_code",
+              "device_code": device_code, "client_id": client_id},
+    ))
+
+
+# ---------------------------------------------------------------------------
+# provider-level behaviour (using the oidc_world fixture's provider)
+# ---------------------------------------------------------------------------
+def test_device_flow_happy_path(oidc_world):
+    clock, _, _, provider, app, agent = oidc_world
+    from tests.test_oidc import login
+
+    start = start_flow(provider)
+    assert start.ok
+    assert "-" in start.body["user_code"]
+
+    # pending until the user approves
+    clock.advance(6)
+    pending = poll(provider, start.body["device_code"])
+    assert pending.status == 400 and pending.body["error"] == "authorization_pending"
+
+    # user approves from their browser session
+    login(agent)
+    approve, _ = agent.post(make_url("op", "/device"),
+                            {"user_code": start.body["user_code"]})
+    assert approve.ok and approve.body["approved"] is True
+
+    clock.advance(6)
+    tokens = poll(provider, start.body["device_code"])
+    assert tokens.ok
+    assert "access_token" in tokens.body and "id_token" in tokens.body
+    # the identity is the approving user's
+    intro = provider.handle(HttpRequest(
+        "POST", "/introspect", body={"token": tokens.body["access_token"]}))
+    assert intro.body["sub"] == "alice"
+
+
+def test_device_flow_requires_user_session(oidc_world):
+    clock, _, _, provider, app, agent = oidc_world
+    start = start_flow(provider)
+    resp, _ = agent.post(make_url("op", "/device"),
+                         {"user_code": start.body["user_code"]})
+    assert resp.status == 401 and resp.body["login_required"]
+
+
+def test_device_flow_denial(oidc_world):
+    clock, _, _, provider, app, agent = oidc_world
+    from tests.test_oidc import login
+
+    start = start_flow(provider)
+    login(agent)
+    agent.post(make_url("op", "/device"),
+               {"user_code": start.body["user_code"], "approve": False})
+    clock.advance(6)
+    resp = poll(provider, start.body["device_code"])
+    assert resp.status == 403 and resp.body["error"] == "access_denied"
+
+
+def test_device_flow_polling_too_fast_slowed(oidc_world):
+    clock, _, _, provider, *_ = oidc_world
+    start = start_flow(provider)
+    clock.advance(6)
+    poll(provider, start.body["device_code"])
+    resp = poll(provider, start.body["device_code"])  # immediate re-poll
+    assert resp.body["error"] == "slow_down"
+
+
+def test_device_flow_expiry(oidc_world):
+    clock, _, _, provider, app, agent = oidc_world
+    from tests.test_oidc import login
+
+    start = start_flow(provider)
+    clock.advance(provider.device_code_ttl + 1)
+    resp = poll(provider, start.body["device_code"])
+    assert resp.body["error"] == "expired_token"
+    # the user code is dead too
+    login(agent)
+    verify, _ = agent.post(make_url("op", "/device"),
+                           {"user_code": start.body["user_code"]})
+    assert verify.status == 400
+
+
+def test_device_code_single_redemption(oidc_world):
+    clock, _, _, provider, app, agent = oidc_world
+    from tests.test_oidc import login
+
+    start = start_flow(provider)
+    login(agent)
+    agent.post(make_url("op", "/device"),
+               {"user_code": start.body["user_code"]})
+    clock.advance(6)
+    assert poll(provider, start.body["device_code"]).ok
+    clock.advance(6)
+    again = poll(provider, start.body["device_code"])
+    assert again.status == 400 and "redeemed" in again.body["error"]
+
+
+def test_device_flow_unknown_client(oidc_world):
+    *_, provider, app, agent = oidc_world[2:5] + (None, None)
+    provider = oidc_world[3]
+    assert start_flow(provider, client_id="ghost").status == 401
+
+
+# ---------------------------------------------------------------------------
+# the headless workstation journey on the full deployment
+# ---------------------------------------------------------------------------
+def test_headless_workstation_gets_ssh_certificate():
+    """A researcher's lab workstation (no browser) obtains an SSH
+    certificate: device flow at the broker, approval from the laptop,
+    then /ssh/certificate with the bearer token."""
+    dri = build_isambard(seed=103)
+    s1 = dri.workflows.story1_pi_onboarding("tess")
+    tess = dri.workflows.personas["tess"]
+
+    workstation = Service("lab-workstation")
+    dri.network.attach(workstation, OperatingDomain.EXTERNAL, Zone.INTERNET)
+    cfg = dri.broker.register_client("ssh-cert-cli", ["https://unused/cb"],
+                                     require_pkce=False)
+
+    start = workstation.call("broker", HttpRequest(
+        "POST", "/device_authorization",
+        body={"client_id": "ssh-cert-cli", "scope": "openid profile"},
+    ))
+    assert start.ok
+
+    # tess approves from her (already logged-in) laptop browser
+    approve, _ = tess.agent.post(make_url("broker", "/device"),
+                                 {"user_code": start.body["user_code"]})
+    assert approve.ok, approve.body
+
+    dri.clock.advance(6)
+    tokens = workstation.call("broker", HttpRequest(
+        "POST", "/token",
+        body={"grant_type": "urn:ietf:params:oauth:grant-type:device_code",
+              "device_code": start.body["device_code"],
+              "client_id": "ssh-cert-cli"},
+    ))
+    assert tokens.ok, tokens.body
+
+    from repro.sshca import SshKeyPair
+
+    kp = SshKeyPair.generate()
+    cert = workstation.call("broker", HttpRequest(
+        "POST", "/ssh/certificate",
+        headers={"Authorization": f"Bearer {tokens.body['access_token']}"},
+        body={"public_key_jwk": kp.public_jwk()},
+    ))
+    assert cert.ok, cert.body
+    assert cert.body["principals"] == [f"tess.{s1.data['project_id']}"]

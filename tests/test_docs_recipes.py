@@ -1,0 +1,114 @@
+"""The recipes in docs/extending.md must actually work (docs don't rot)."""
+
+import pytest
+
+from repro.broker import Role
+from repro.core import build_isambard
+from repro.federation import EntityCategory, InstitutionalIdP, LevelOfAssurance
+from repro.net import (
+    FirewallRule,
+    HttpResponse,
+    OperatingDomain,
+    Service,
+    Zone,
+    analyze_rule_change,
+    route,
+)
+from repro.oidc import make_url
+from repro.policy import load_policy
+from repro.siem import ThresholdRule
+from repro.tunnels import ZenithClient
+
+
+@pytest.fixture()
+def dri():
+    return build_isambard(seed=101)
+
+
+def test_recipe_add_institutional_idp(dri):
+    idp = InstitutionalIdP(
+        "idp-oslo", "https://idp.uio.no", dri.clock, dri.ids,
+        loa=LevelOfAssurance.CAPPUCCINO,
+        categories=(EntityCategory.RESEARCH_AND_SCHOLARSHIP,),
+    )
+    idp.add_user("kari", "pw", "Kari Nordmann", "kari@uio.no")
+    dri.edugain.register_idp(idp, federation="FEIDE", display_name="U. Oslo")
+    dri.network.attach(idp, OperatingDomain.EXTERNAL, Zone.INTERNET)
+    dri.idps["idp-oslo"] = idp
+
+    # kari shows up in discovery and can be onboarded as a PI
+    agent = dri.workflows._new_agent("probe")
+    disco, _ = agent.get(make_url("myaccessid", "/discovery"))
+    assert any(c["entity_id"] == "https://idp.uio.no" and c["acceptable"]
+               for c in disco.body["idps"])
+    s1 = dri.workflows.story1_pi_onboarding("kari", project_name="oslo-proj")
+    assert s1.ok, s1.steps
+
+
+def test_recipe_publish_service_via_zenith(dri):
+    class Dashboard(Service):
+        @route("GET", "/")
+        def home(self, request):
+            return HttpResponse.json({"hello": "dashboard"})
+
+    dash = Dashboard("dashboard")
+    client = ZenithClient("zenith-dash", "dashboard")
+    dri.network.attach(dash, OperatingDomain.MDC, Zone.HPC)
+    dri.network.attach(client, OperatingDomain.MDC, Zone.HPC)
+    token, _ = dri.broker.tokens.mint("mdc-dash", "zenith", Role.SERVICE)
+    resp = client.register_with("zenith", "dashboard", token)
+    assert resp.ok
+    assert "dashboard" in dri.zenith.tunnels
+
+    # an authorised user reaches it through the edge (note: 'dashboard'
+    # must be an audience the user can mint for -> researcher role works
+    # because the zenith shim asks for researcher/pi)
+    s1 = dri.workflows.story1_pi_onboarding("dana")
+    dana = dri.workflows.personas["dana"]
+    resp, _ = dana.agent.get(
+        make_url("edge", "/zenith/app", service="dashboard", path="/"))
+    if resp.status == 401:
+        dri.workflows.login(dana)
+        resp, _ = dana.agent.get(
+            make_url("edge", "/zenith/app", service="dashboard", path="/"))
+    assert resp.ok and resp.body["hello"] == "dashboard"
+
+
+def test_recipe_policy_dsl_at_mgmt(dri):
+    dri.mgmt_node.policy = load_policy("""
+        deny  contained  if risk_score >= 1
+        deny  no-hwk     if role startswith "admin" and "hwk" not in mfa_methods
+        allow rest       if capability
+    """)
+    result = dri.workflows.story5_privileged_operation("ops1")
+    assert result.ok, result.steps
+
+
+def test_recipe_detection_rule(dri):
+    dri.soc.rules.append(ThresholdRule(
+        name="cert-mint-burst", severity="medium", window=60, count=3,
+        summary="{actor} minted {count} SSH certs in a minute",
+        predicate=lambda r: r.get("action") == "ca.sign",
+    ))
+    s1 = dri.workflows.story1_pi_onboarding("carl")
+    carl = dri.workflows.personas["carl"]
+    for _ in range(3):
+        carl.ssh_client.request_certificate()
+    dri.ship_logs()
+    assert any(a.rule == "cert-mint-burst" for a in dri.soc.alerts)
+
+
+def test_recipe_firewall_gate(dri):
+    risky = FirewallRule(
+        name="grafana-direct", src_domain=OperatingDomain.EXTERNAL,
+        dst_domain=OperatingDomain.MDC, dst_zone=Zone.HPC, port=443)
+    report = analyze_rule_change(dri.network, risky)
+    assert report.exposes_protected  # CI would reject this change
+
+
+def test_recipe_containment_lever(dri):
+    closed = []
+    dri.killswitch.register_user_action(
+        "dashboard-sessions", lambda p: closed.append(p) or 1)
+    dri.killswitch.contain_user("mallory")
+    assert closed == ["mallory"]

@@ -1,0 +1,116 @@
+"""Tests for TOTP and hardware-key MFA devices."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clock import SimClock
+from repro.errors import MFAFailed
+from repro.federation.mfa import HardwareKey, HardwareKeyRegistration, TotpDevice
+
+
+# ---------------------------------------------------------------------------
+# TOTP
+# ---------------------------------------------------------------------------
+def test_totp_code_is_six_digits():
+    dev = TotpDevice(secret=b"super-secret")
+    code = dev.code_at(1000.0)
+    assert len(code) == 6 and code.isdigit()
+
+
+def test_totp_stable_within_step_changes_across_steps():
+    dev = TotpDevice(secret=b"super-secret")
+    assert dev.code_at(60.0) == dev.code_at(89.9)
+    assert dev.code_at(60.0) != dev.code_at(90.0) or dev.code_at(60.0) != dev.code_at(120.0)
+
+
+def test_totp_verify_accepts_current_and_window():
+    dev = TotpDevice(secret=b"s")
+    t = 12345.0
+    assert dev.verify(dev.code_at(t), t)
+    assert dev.verify(dev.code_at(t - 30), t, window=1)
+    assert dev.verify(dev.code_at(t + 30), t, window=1)
+
+
+def test_totp_verify_rejects_outside_window():
+    dev = TotpDevice(secret=b"s")
+    t = 12345.0
+    stale = dev.code_at(t - 120)
+    if stale != dev.code_at(t) and stale not in (dev.code_at(t - 30), dev.code_at(t + 30)):
+        assert not dev.verify(stale, t, window=1)
+
+
+def test_totp_different_secrets_differ():
+    t = 5000.0
+    assert TotpDevice(secret=b"a").code_at(t) != TotpDevice(secret=b"b").code_at(t)
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_totp_property_verify_roundtrip(t):
+    dev = TotpDevice(secret=b"prop")
+    assert dev.verify(dev.code_at(float(t)), float(t))
+
+
+# ---------------------------------------------------------------------------
+# hardware keys
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def registration():
+    return HardwareKeyRegistration(SimClock(), challenge_ttl=60)
+
+
+def test_hardware_key_challenge_response(registration):
+    dev = HardwareKey("yubi-1")
+    registration.enrol(dev)
+    challenge = registration.issue_challenge()
+    assertion = dev.sign_challenge(challenge)
+    assert registration.verify_assertion(assertion) == "yubi-1"
+
+
+def test_hardware_key_requires_touch():
+    dev = HardwareKey("yubi-1")
+    with pytest.raises(MFAFailed):
+        dev.sign_challenge(b"c", touched=False)
+
+
+def test_unenrolled_device_rejected(registration):
+    dev = HardwareKey("rogue")
+    challenge = registration.issue_challenge()
+    with pytest.raises(MFAFailed):
+        registration.verify_assertion(dev.sign_challenge(challenge))
+
+
+def test_challenge_is_single_use(registration):
+    dev = HardwareKey("yubi-1")
+    registration.enrol(dev)
+    challenge = registration.issue_challenge()
+    assertion = dev.sign_challenge(challenge)
+    registration.verify_assertion(assertion)
+    with pytest.raises(MFAFailed):
+        registration.verify_assertion(assertion)  # replay
+
+
+def test_expired_challenge_rejected():
+    clock = SimClock()
+    reg = HardwareKeyRegistration(clock, challenge_ttl=10)
+    dev = HardwareKey("yubi-1")
+    reg.enrol(dev)
+    challenge = reg.issue_challenge()
+    clock.advance(11)
+    with pytest.raises(MFAFailed):
+        reg.verify_assertion(dev.sign_challenge(challenge))
+
+
+def test_signature_from_wrong_device_rejected(registration):
+    real, impostor = HardwareKey("yubi-1"), HardwareKey("yubi-1")
+    registration.enrol(real)
+    challenge = registration.issue_challenge()
+    with pytest.raises(MFAFailed):
+        registration.verify_assertion(impostor.sign_challenge(challenge))
+
+
+def test_malformed_assertion_rejected(registration):
+    dev = HardwareKey("yubi-1")
+    registration.enrol(dev)
+    with pytest.raises(MFAFailed):
+        registration.verify_assertion({"device_id": "yubi-1", "challenge": "zz"})

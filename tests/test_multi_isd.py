@@ -1,0 +1,123 @@
+"""Federation reuse across infrastructure service domains (ISDs).
+
+§II.B: MyAccessID "guarantees the uniqueness and persistence of the user
+identifier towards connected ISDs" — several infrastructures share one
+identity layer.  These tests stand up a *second* ISD (another national
+centre with its own broker and portal) as another MyAccessID client and
+verify that identity is shared while authorisation stays local.
+"""
+
+import pytest
+
+from repro.broker import IdentityBroker, RbacTokenValidator
+from repro.core import build_isambard
+from repro.net import OperatingDomain, Zone
+from repro.oidc import make_url
+from repro.portal import UserPortal
+
+
+@pytest.fixture()
+def two_isds():
+    """The Isambard deployment plus a second centre ('northern-hpc')
+    hanging off the same MyAccessID."""
+    dri = build_isambard(seed=71)
+    clock, ids = dri.clock, dri.ids
+    broker2 = IdentityBroker("broker2", clock, ids,
+                             portal_endpoint="portal2", audit=dri.logs["fds"])
+    cb = make_url("broker2", "/login/callback")
+    cfg = dri.myaccessid.register_client("northern-hpc-broker", [cb],
+                                         confidential=True)
+    broker2.add_upstream("myaccessid", "University Login (MyAccessID)",
+                         "myaccessid", cfg, kind="federated")
+    validator = RbacTokenValidator(
+        clock, broker2.issuer, "portal2", broker2.jwks,
+        broker2.tokens.is_revoked,
+    )
+    portal2 = UserPortal("portal2", clock, ids, validator,
+                         audit=dri.logs["fds"])
+    # the second ISD lives in its own (simulated) cloud; co-locating in
+    # FDS keeps the test focused on the federation semantics
+    dri.network.attach(broker2, OperatingDomain.FDS, Zone.ACCESS)
+    dri.network.attach(portal2, OperatingDomain.FDS, Zone.ACCESS)
+    return dri, broker2, portal2
+
+
+def login_at(dri, persona, broker_name):
+    agent = persona.agent
+    resp, final = agent.get(
+        make_url(broker_name, "/login/start", idp="myaccessid",
+                 accept_terms="true"))
+    if resp.status == 401 and resp.body.get("login_required"):
+        idp_resp, _ = agent.post(
+            make_url(persona.idp_endpoint, "/login"),
+            {"username": persona.username, "password": persona.password,
+             "sp": dri.myaccessid.entity_id},
+        )
+        agent.post(
+            make_url("myaccessid", "/assert"),
+            {"entity_id": dri.idps[persona.idp_endpoint].entity_id,
+             "assertion": idp_resp.body["assertion"]},
+        )
+        resp, _ = agent.get(final)
+    return resp
+
+
+def test_same_uid_across_isds(two_isds):
+    """One MyAccessID account, two infrastructures: the persistent uid is
+    identical at both brokers."""
+    dri, broker2, portal2 = two_isds
+    s1 = dri.workflows.story1_pi_onboarding("nora")
+    nora = dri.workflows.personas["nora"]
+    uid_isambard = nora.broker_sub
+
+    # authorise nora at the second ISD too (its own allocator process)
+    import json
+
+    from repro.broker import Role
+
+    token, _ = broker2.tokens.mint("alloc-north", "portal2", Role.ALLOCATOR)
+    created, _ = nora.agent.post(
+        make_url("portal2", "/projects"),
+        {"name": "northern-project",
+         "pi_email": f"nora@{dri.idps['idp-bristol'].scope}",
+         "gpu_hours": 10.0},
+        headers={"Authorization": f"Bearer {token}"},
+    )
+    assert created.ok
+    resp = login_at(dri, nora, "broker2")
+    assert resp.ok, resp.body
+    assert resp.body["sub"] == uid_isambard  # uniqueness + persistence
+
+
+def test_authorisation_is_per_isd(two_isds):
+    """Having a role at Isambard grants nothing at the other centre —
+    the identity federates, the authorisation does not."""
+    dri, broker2, portal2 = two_isds
+    dri.workflows.story1_pi_onboarding("omar")  # authorised at Isambard
+    omar = dri.workflows.personas["omar"]
+    resp = login_at(dri, omar, "broker2")
+    assert resp.status == 403  # no role, no invitation at northern-hpc
+    assert resp.body["error_type"] == "RegistrationError"
+
+
+def test_sso_spans_isds(two_isds):
+    """After authenticating once at MyAccessID, a user authorised at
+    both ISDs logs into the second without re-entering credentials."""
+    dri, broker2, portal2 = two_isds
+    s1 = dri.workflows.story1_pi_onboarding("pia")
+    pia = dri.workflows.personas["pia"]
+    from repro.broker import Role
+
+    token, _ = broker2.tokens.mint("alloc-north", "portal2", Role.ALLOCATOR)
+    pia_email = f"pia@{dri.idps['idp-bristol'].scope}"
+    created, _ = pia.agent.post(
+        make_url("portal2", "/projects"),
+        {"name": "shared", "pi_email": pia_email, "gpu_hours": 5.0},
+        headers={"Authorization": f"Bearer {token}"},
+    )
+    assert created.ok
+    idp_logins_before = dri.idps["idp-bristol"].audit.count(action="idp.login")
+    resp = login_at(dri, pia, "broker2")
+    assert resp.ok
+    idp_logins_after = dri.idps["idp-bristol"].audit.count(action="idp.login")
+    assert idp_logins_after == idp_logins_before  # MyAccessID session reused

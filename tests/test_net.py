@@ -1,0 +1,186 @@
+"""Tests for the simulated network: segmentation, encryption, delivery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.audit import AuditLog
+from repro.clock import SimClock
+from repro.errors import (
+    ConfigurationError,
+    ConnectionBlocked,
+    EncryptionRequired,
+    ServiceUnavailable,
+)
+from repro.net import (
+    ANY,
+    Firewall,
+    FirewallRule,
+    HttpRequest,
+    HttpResponse,
+    Network,
+    OperatingDomain,
+    Service,
+    Zone,
+    route,
+)
+
+
+class Echo(Service):
+    @route("GET", "/ping")
+    def ping(self, request):
+        return HttpResponse.json({"pong": True, "from": request.source})
+
+    @route("POST", "/fail")
+    def fail(self, request):
+        from repro.errors import AuthorizationError
+
+        raise AuthorizationError("nope")
+
+
+@pytest.fixture()
+def net():
+    clock = SimClock()
+    network = Network(clock, audit=AuditLog("net"))
+    network.firewall.allow(
+        "internet-to-fds",
+        src_domain=OperatingDomain.EXTERNAL,
+        dst_domain=OperatingDomain.FDS,
+        port=443,
+    )
+    network.attach(Echo("laptop"), OperatingDomain.EXTERNAL, Zone.INTERNET)
+    network.attach(Echo("broker"), OperatingDomain.FDS, Zone.ACCESS)
+    network.attach(Echo("mgmt-node"), OperatingDomain.MDC, Zone.MANAGEMENT)
+    return network
+
+
+def test_allowed_flow_delivers(net):
+    resp = net.request("laptop", "broker", HttpRequest("GET", "/ping"))
+    assert resp.ok and resp.body["pong"] is True
+    assert resp.body["from"] == "laptop"
+    assert net.messages_delivered == 1
+
+
+def test_default_deny_blocks_unlisted_flow(net):
+    with pytest.raises(ConnectionBlocked):
+        net.request("laptop", "mgmt-node", HttpRequest("GET", "/ping"))
+    assert net.messages_blocked == 1
+    denies = net.audit.query(action="firewall.deny")
+    assert len(denies) == 1 and denies[0].resource == "mgmt-node"
+
+
+def test_wrong_port_blocked(net):
+    with pytest.raises(ConnectionBlocked):
+        net.request("laptop", "broker", HttpRequest("GET", "/ping"), port=22)
+
+
+def test_plaintext_across_boundary_rejected(net):
+    with pytest.raises(EncryptionRequired):
+        net.request("laptop", "broker", HttpRequest("GET", "/ping"), encrypted=False)
+    assert net.audit.count(action="transport.plaintext_rejected") == 1
+
+
+def test_intra_zone_traffic_permitted_without_rule(net):
+    net.attach(Echo("portal"), OperatingDomain.FDS, Zone.ACCESS)
+    resp = net.request("broker", "portal", HttpRequest("GET", "/ping"))
+    assert resp.ok
+
+
+def test_down_endpoint_unavailable(net):
+    net.endpoint("broker").up = False
+    with pytest.raises(ServiceUnavailable):
+        net.request("laptop", "broker", HttpRequest("GET", "/ping"))
+
+
+def test_unknown_endpoint_is_configuration_error(net):
+    with pytest.raises(ConfigurationError):
+        net.request("laptop", "ghost", HttpRequest("GET", "/ping"))
+
+
+def test_duplicate_attach_rejected(net):
+    with pytest.raises(ConfigurationError):
+        net.attach(Echo("broker"), OperatingDomain.FDS, Zone.ACCESS)
+
+
+def test_detach_removes_endpoint(net):
+    net.detach("broker")
+    assert not net.has_endpoint("broker")
+
+
+def test_unrouted_path_is_404(net):
+    resp = net.request("laptop", "broker", HttpRequest("GET", "/nope"))
+    assert resp.status == 404
+
+
+def test_repro_error_in_handler_becomes_403(net):
+    resp = net.request("laptop", "broker", HttpRequest("POST", "/fail"))
+    assert resp.status == 403
+    assert resp.body["error_type"] == "AuthorizationError"
+
+
+def test_delivery_advances_clock(net):
+    t0 = net.clock.now()
+    net.request("laptop", "broker", HttpRequest("GET", "/ping"))
+    assert net.clock.now() == pytest.approx(t0 + net.hop_latency)
+
+
+def test_reachable_is_pure_query(net):
+    assert net.reachable("laptop", "broker")
+    assert not net.reachable("laptop", "mgmt-node")
+    assert net.messages_delivered == 0
+    assert len(net.audit) == 0
+
+
+def test_deny_rule_carves_hole_in_allow():
+    fw = Firewall()
+    fw.deny("block-mdc-to-sec", src_domain=OperatingDomain.MDC)
+    fw.allow("allow-all-443", port=443)
+    assert not fw.evaluate(
+        OperatingDomain.MDC, Zone.HPC, OperatingDomain.SEC, Zone.SECURITY, 443
+    )
+    assert fw.evaluate(
+        OperatingDomain.SWS, Zone.ACCESS, OperatingDomain.SEC, Zone.SECURITY, 443
+    )
+
+
+def test_unsegmented_firewall_allows_everything():
+    fw = Firewall(segmented=False)
+    decision = fw.evaluate(
+        OperatingDomain.EXTERNAL, Zone.INTERNET,
+        OperatingDomain.MDC, Zone.MANAGEMENT, 9999,
+    )
+    assert decision and decision.rule == "unsegmented-allow-all"
+
+
+def test_rule_action_validated():
+    with pytest.raises(ValueError):
+        FirewallRule(name="bad", action="shrug")
+
+
+DOMAINS = list(OperatingDomain)
+ZONES = list(Zone)
+
+
+@given(
+    src_d=st.sampled_from(DOMAINS),
+    src_z=st.sampled_from(ZONES),
+    dst_d=st.sampled_from(DOMAINS),
+    dst_z=st.sampled_from(ZONES),
+    port=st.integers(1, 65535),
+)
+def test_property_empty_firewall_denies_all_cross_zone(src_d, src_z, dst_d, dst_z, port):
+    """Segmentation property: with no rules, only intra-zone flows pass."""
+    fw = Firewall()
+    decision = fw.evaluate(src_d, src_z, dst_d, dst_z, port)
+    same_place = src_d == dst_d and src_z == dst_z
+    assert bool(decision) == same_place
+
+
+@given(port=st.integers(1, 65535))
+def test_property_first_match_wins(port):
+    fw = Firewall()
+    fw.deny("deny-first", port=port)
+    fw.allow("allow-later", port=ANY)
+    assert not fw.evaluate(
+        OperatingDomain.EXTERNAL, Zone.INTERNET, OperatingDomain.FDS, Zone.ACCESS, port
+    )

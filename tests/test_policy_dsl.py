@@ -1,0 +1,128 @@
+"""Tests for the OPA-style policy language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, PolicyViolation
+from repro.policy import PolicyEngine, load_policy, parse_policy
+from repro.policy.dsl import STANDARD_POLICY
+from repro.policy.engine import AccessContext, standard_zero_trust_rules
+
+
+def ctx(**overrides):
+    base = dict(
+        subject="ma-1", role="researcher", capability="cluster.login",
+        resource="login-node", mfa_methods=("federated",),
+    )
+    base.update(overrides)
+    return AccessContext(**base)
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+def test_parse_simple_rules():
+    rules = parse_policy("""
+        # a comment
+        deny  block-mallory if subject == "mallory"
+        allow everyone      if capability
+    """)
+    assert [r.name for r in rules] == ["block-mallory", "everyone"]
+    assert rules[0].effect == "deny"
+
+
+def test_parse_errors():
+    with pytest.raises(ConfigurationError):
+        parse_policy("deny nameless")
+    with pytest.raises(ConfigurationError):
+        parse_policy("maybe x if capability")
+    with pytest.raises(ConfigurationError):
+        parse_policy("deny x unless capability")
+    with pytest.raises(ConfigurationError):
+        parse_policy("deny x if nonexistent_attr == 1")
+    with pytest.raises(ConfigurationError):
+        parse_policy('deny x if subject == ')
+    with pytest.raises(ConfigurationError):
+        parse_policy("deny x if subject == ~~~")
+    with pytest.raises(ConfigurationError):
+        parse_policy("deny x if and")
+
+
+# ---------------------------------------------------------------------------
+# semantics
+# ---------------------------------------------------------------------------
+def test_comparison_operators():
+    engine = load_policy("""
+        deny  high-risk if risk_score >= 0.8
+        deny  low-loa   if loa < 2
+        allow rest      if capability
+    """)
+    assert not engine.evaluate(ctx(risk_score=0.9, loa=3))
+    assert not engine.evaluate(ctx(risk_score=0.1, loa=1))
+    assert engine.evaluate(ctx(risk_score=0.1, loa=2))
+
+
+def test_string_operators():
+    engine = load_policy("""
+        deny mgmt-paths if capability startswith "mgmt."
+        deny read-only  if capability endswith ".read" and role != "pi"
+        allow rest      if capability
+    """)
+    assert not engine.evaluate(ctx(capability="mgmt.access"))
+    assert not engine.evaluate(ctx(capability="inventory.read"))
+    assert engine.evaluate(ctx(capability="inventory.read", role="pi"))
+
+
+def test_membership_operators():
+    engine = load_policy("""
+        deny  no-hwk  if role startswith "admin" and "hwk" not in mfa_methods
+        allow with-ok if "federated" in mfa_methods
+    """)
+    assert not engine.evaluate(ctx(role="admin-infra", mfa_methods=("pwd",)))
+    assert engine.evaluate(ctx(mfa_methods=("federated",)))
+
+
+def test_not_and_truthiness():
+    engine = load_policy("""
+        deny untrusted if not device_trusted
+        allow anything if capability
+    """)
+    assert not engine.evaluate(ctx(device_trusted=False))
+    assert engine.evaluate(ctx(device_trusted=True))
+
+
+def test_load_into_existing_engine():
+    engine = PolicyEngine()
+    load_policy('allow all if capability', engine=engine)
+    assert engine.evaluate(ctx())
+
+
+# ---------------------------------------------------------------------------
+# equivalence: the DSL standard pack == the handwritten standard pack
+# ---------------------------------------------------------------------------
+CONTEXTS = st.builds(
+    ctx,
+    role=st.sampled_from(["researcher", "pi", "admin-infra", "admin-security"]),
+    capability=st.sampled_from(
+        ["cluster.login", "mgmt.access", "inventory.read", "soc.view", ""]),
+    device_trusted=st.booleans(),
+    mfa_methods=st.sets(
+        st.sampled_from(["pwd", "otp", "hwk", "federated"])).map(tuple),
+    risk_score=st.sampled_from([0.0, 0.5, 1.0]),
+)
+
+
+@given(context=CONTEXTS)
+def test_property_dsl_pack_equals_python_pack(context):
+    python_engine = standard_zero_trust_rules(PolicyEngine())
+    dsl_engine = load_policy(STANDARD_POLICY)
+    assert (python_engine.evaluate(context).allowed
+            == dsl_engine.evaluate(context).allowed), context
+
+
+def test_enforce_reason_mentions_policy_line():
+    engine = load_policy('deny always if risk_score >= 0')
+    with pytest.raises(PolicyViolation) as err:
+        engine.enforce(ctx())
+    assert "policy line" in str(err.value)

@@ -1,0 +1,83 @@
+"""Unit tests for the dynamic policy engine."""
+
+import pytest
+
+from repro.errors import PolicyViolation
+from repro.policy import AccessContext, PolicyEngine, PolicyRule
+from repro.policy.engine import standard_zero_trust_rules
+
+
+def ctx(**overrides):
+    base = dict(
+        subject="ma-1", role="researcher", capability="cluster.login",
+        resource="login-node", mfa_methods=("federated",),
+    )
+    base.update(overrides)
+    return AccessContext(**base)
+
+
+def test_default_deny():
+    engine = PolicyEngine()
+    decision = engine.evaluate(ctx())
+    assert not decision and decision.rule is None
+    assert engine.denials == 1
+
+
+def test_first_match_wins():
+    engine = PolicyEngine()
+    engine.deny("block-mallory", lambda c: c.subject == "mallory")
+    engine.allow("allow-all", lambda c: True)
+    assert engine.evaluate(ctx())
+    assert not engine.evaluate(ctx(subject="mallory"))
+
+
+def test_enforce_raises():
+    engine = PolicyEngine()
+    with pytest.raises(PolicyViolation):
+        engine.enforce(ctx())
+
+
+def test_invalid_effect_rejected():
+    with pytest.raises(ValueError):
+        PolicyRule("bad", lambda c: True, "maybe")
+
+
+def test_standard_pack_allows_normal_access():
+    engine = standard_zero_trust_rules(PolicyEngine())
+    assert engine.evaluate(ctx())
+
+
+def test_standard_pack_denies_contained_subject():
+    engine = standard_zero_trust_rules(PolicyEngine())
+    decision = engine.evaluate(ctx(risk_score=1.0))
+    assert not decision and decision.rule == "contained-subject"
+
+
+def test_standard_pack_denies_untrusted_device_for_mgmt():
+    engine = standard_zero_trust_rules(PolicyEngine())
+    decision = engine.evaluate(ctx(
+        role="admin-infra", capability="mgmt.access",
+        device_trusted=False, mfa_methods=("pwd", "hwk"),
+    ))
+    assert not decision and decision.rule == "untrusted-device-mgmt"
+
+
+def test_standard_pack_requires_hwk_for_admin_roles():
+    engine = standard_zero_trust_rules(PolicyEngine())
+    soft = engine.evaluate(ctx(
+        role="admin-infra", capability="inventory.read",
+        mfa_methods=("pwd", "otp"),
+    ))
+    assert not soft and soft.rule == "admin-without-hardware-mfa"
+    hard = engine.evaluate(ctx(
+        role="admin-infra", capability="inventory.read",
+        mfa_methods=("pwd", "hwk"),
+    ))
+    assert hard
+
+
+def test_evaluation_counters():
+    engine = standard_zero_trust_rules(PolicyEngine())
+    engine.evaluate(ctx())
+    engine.evaluate(ctx(risk_score=1.0))
+    assert engine.evaluations == 2 and engine.denials == 1

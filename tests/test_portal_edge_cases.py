@@ -1,0 +1,152 @@
+"""Portal edge cases: expired invitations, wrong-role invites, closed
+projects, and miscellaneous denial paths."""
+
+import pytest
+
+from repro.oidc import make_url
+
+
+def setup_pi(world):
+    project_id, invite = world.create_project(pi_email="alice@bristol.ac.uk")
+    world.federated_login()
+    world.accept_invitation(world.agent, invite)
+    world.agent.clear_cookies("broker")
+    world.federated_login()
+    return project_id
+
+
+def pi_token(world, project_id):
+    return world.mint(world.agent, "portal", "pi",
+                      project=project_id).body["token"]
+
+
+def test_invitation_expires_after_two_weeks(world):
+    project_id, invite = world.create_project(pi_email="alice@bristol.ac.uk")
+    world.clock.advance(15 * 24 * 3600)
+    # the pending invitation no longer authorises registration
+    resp = world.federated_login()
+    assert resp.status == 403
+
+
+def test_pi_cannot_invite_another_pi(world):
+    project_id = setup_pi(world)
+    token = pi_token(world, project_id)
+    resp, _ = world.agent.post(
+        make_url("portal", "/invite"),
+        {"project_id": project_id, "email": "x@bristol.ac.uk", "role": "pi"},
+        headers={"Authorization": f"Bearer {token}"},
+    )
+    assert resp.status == 403 and "only invite researchers" in resp.body["error"]
+
+
+def test_invite_into_foreign_project_denied(world):
+    project_id = setup_pi(world)
+    # alice holds a PI token for HER project but targets another project
+    agent2, device2 = world.onboard_allocator("alloc2")
+    world.admin_login(agent2, "alloc2", "p" * 20, device2)
+    alloc_token = world.mint(agent2, "portal", "allocator").body["token"]
+    other, _ = agent2.post(
+        make_url("portal", "/projects"),
+        {"name": "other", "pi_email": "other@x.org", "gpu_hours": 1.0},
+        headers={"Authorization": f"Bearer {alloc_token}"},
+    )
+    token = pi_token(world, project_id)
+    resp, _ = world.agent.post(
+        make_url("portal", "/invite"),
+        {"project_id": other.body["project_id"], "email": "x@bristol.ac.uk"},
+        headers={"Authorization": f"Bearer {token}"},
+    )
+    assert resp.status == 403
+
+
+def test_invite_into_closed_project_denied(world):
+    project_id = setup_pi(world)
+    token = pi_token(world, project_id)
+    # allocator closes it
+    agent = world.network.endpoint("alloc1-laptop").service
+    alloc_token = world.mint(agent, "portal", "allocator").body["token"]
+    agent.post(make_url("portal", "/close_project"),
+               {"project_id": project_id},
+               headers={"Authorization": f"Bearer {alloc_token}"})
+    resp, _ = world.agent.post(
+        make_url("portal", "/invite"),
+        {"project_id": project_id, "email": "x@bristol.ac.uk"},
+        headers={"Authorization": f"Bearer {token}"},
+    )
+    assert resp.status == 403
+
+
+def test_close_unknown_project_404(world):
+    agent, device = world.onboard_allocator()
+    world.admin_login(agent, "alloc1", "p" * 20, device)
+    token = world.mint(agent, "portal", "allocator").body["token"]
+    resp, _ = agent.post(make_url("portal", "/close_project"),
+                         {"project_id": "proj-9999"},
+                         headers={"Authorization": f"Bearer {token}"})
+    assert resp.status == 404
+
+
+def test_project_creation_validation(world):
+    agent, device = world.onboard_allocator()
+    world.admin_login(agent, "alloc1", "p" * 20, device)
+    token = world.mint(agent, "portal", "allocator").body["token"]
+    resp, _ = agent.post(make_url("portal", "/projects"),
+                         {"name": "", "pi_email": "", "gpu_hours": 0},
+                         headers={"Authorization": f"Bearer {token}"})
+    assert resp.status == 400
+
+
+def test_revoke_nonmember_404(world):
+    project_id = setup_pi(world)
+    token = pi_token(world, project_id)
+    resp, _ = world.agent.post(
+        make_url("portal", "/revoke_member"),
+        {"project_id": project_id, "uid": "ghost"},
+        headers={"Authorization": f"Bearer {token}"},
+    )
+    assert resp.status == 404
+
+
+def test_pi_cannot_remove_themselves(world):
+    project_id = setup_pi(world)
+    token = pi_token(world, project_id)
+    me = world.broker.tokens.issued(
+        world.mint(world.agent, "portal", "pi",
+                   project=project_id).body["jti"]).subject
+    resp, _ = world.agent.post(
+        make_url("portal", "/revoke_member"),
+        {"project_id": project_id, "uid": me},
+        headers={"Authorization": f"Bearer {token}"},
+    )
+    assert resp.status == 403 and "allocator" in resp.body["error"]
+
+
+def test_accept_invitation_twice_fails(world):
+    project_id, invite = world.create_project(pi_email="alice@bristol.ac.uk")
+    world.federated_login()
+    first = world.accept_invitation(world.agent, invite)
+    assert first.ok
+    world.agent.clear_cookies("broker")
+    world.federated_login()
+    # the invitation is used; but alice now has a role so she can mint an
+    # invitee token only if other invitations pend — she cannot
+    second = world.mint(world.agent, "portal", "invitee")
+    assert second.status == 403
+
+
+def test_project_detail_unknown_404(world):
+    project_id = setup_pi(world)
+    token = pi_token(world, project_id)
+    resp, _ = world.agent.get(
+        make_url("portal", "/project", project_id="proj-404"),
+        headers={"Authorization": f"Bearer {token}"},
+    )
+    assert resp.status == 404
+
+
+def test_network_hop_latency_accumulates(world):
+    """End-to-end sim latency counts protocol round trips."""
+    t0 = world.clock.now()
+    world.agent.get(make_url("broker", "/login"))
+    assert world.clock.now() - t0 == pytest.approx(
+        world.network.hop_latency, abs=1e-9)

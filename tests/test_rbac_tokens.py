@@ -1,0 +1,172 @@
+"""Tests for roles/capabilities and the RBAC token service."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.broker.rbac import CAPABILITIES, Role, capabilities_for, require_capability
+from repro.broker.tokens import RbacTokenValidator, TokenService
+from repro.clock import SimClock
+from repro.crypto import JwkSet
+from repro.crypto.keys import generate_signing_key
+from repro.errors import (
+    AudienceMismatch,
+    AuthorizationError,
+    TokenExpired,
+    TokenRevoked,
+)
+from repro.ids import IdFactory
+
+ISS = "https://broker"
+
+
+@pytest.fixture()
+def svc():
+    clock = SimClock(start=0.0)
+    key = generate_signing_key("EdDSA", kid="b1")
+    service = TokenService(clock, IdFactory(1), key, ISS,
+                           default_ttl=900, max_ttl=3600)
+    return clock, key, service
+
+
+def validator(clock, key, audience, service):
+    return RbacTokenValidator(
+        clock, ISS, audience, JwkSet([key.public()]), service.is_revoked
+    )
+
+
+# ---------------------------------------------------------------------------
+# roles
+# ---------------------------------------------------------------------------
+def test_every_role_has_capabilities():
+    for role in Role:
+        assert capabilities_for(role), f"{role} grants nothing"
+
+
+def test_pi_is_superset_of_researcher():
+    assert capabilities_for(Role.RESEARCHER) < capabilities_for(Role.PI)
+
+
+def test_researcher_cannot_invite():
+    assert "project.invite" not in capabilities_for(Role.RESEARCHER)
+    assert "project.invite" in capabilities_for(Role.PI)
+
+
+def test_admin_roles_are_disjoint_from_user_roles():
+    """No blanket authorisation: infra admins hold no researcher caps."""
+    assert not capabilities_for(Role.ADMIN_INFRA) & capabilities_for(Role.RESEARCHER)
+    assert not capabilities_for(Role.ADMIN_SECURITY) & capabilities_for(Role.PI)
+
+
+def test_unknown_role_grants_nothing():
+    assert capabilities_for("superuser") == frozenset()
+
+
+def test_require_capability_enforces():
+    claims = {"sub": "alice", "role": "researcher",
+              "caps": sorted(capabilities_for(Role.RESEARCHER))}
+    require_capability(claims, "cluster.login")
+    with pytest.raises(AuthorizationError):
+        require_capability(claims, "project.invite")
+    with pytest.raises(AuthorizationError):
+        require_capability({"sub": "x"}, "cluster.login")
+
+
+# ---------------------------------------------------------------------------
+# token service
+# ---------------------------------------------------------------------------
+def test_mint_and_validate(svc):
+    clock, key, service = svc
+    token, record = service.mint("alice", "login-node", Role.RESEARCHER,
+                                 project="proj-1")
+    claims = validator(clock, key, "login-node", service).validate(token)
+    assert claims["sub"] == "alice"
+    assert claims["role"] == "researcher"
+    assert claims["project"] == "proj-1"
+    assert "cluster.login" in claims["caps"]
+
+
+def test_token_rejected_at_wrong_audience(svc):
+    clock, key, service = svc
+    token, _ = service.mint("alice", "login-node", Role.RESEARCHER)
+    with pytest.raises(AudienceMismatch):
+        validator(clock, key, "jupyter", service).validate(token)
+
+
+def test_token_expires(svc):
+    clock, key, service = svc
+    token, _ = service.mint("alice", "login-node", Role.RESEARCHER, ttl=100)
+    clock.advance(110)
+    with pytest.raises(TokenExpired):
+        validator(clock, key, "login-node", service).validate(token)
+
+
+def test_ttl_clamped_to_max(svc):
+    clock, key, service = svc
+    _, record = service.mint("alice", "login-node", Role.RESEARCHER, ttl=10**9)
+    assert record.expires_at - record.issued_at == service.max_ttl
+
+
+def test_revoke_jti(svc):
+    clock, key, service = svc
+    token, record = service.mint("alice", "login-node", Role.RESEARCHER)
+    assert service.revoke_jti(record.jti)
+    with pytest.raises(TokenRevoked):
+        validator(clock, key, "login-node", service).validate(token)
+    assert not service.revoke_jti("nonexistent")
+
+
+def test_revoke_subject_all_projects(svc):
+    clock, key, service = svc
+    t1, _ = service.mint("alice", "login-node", Role.RESEARCHER, project="p1")
+    t2, _ = service.mint("alice", "jupyter", Role.RESEARCHER, project="p2")
+    t3, _ = service.mint("bob", "login-node", Role.RESEARCHER, project="p1")
+    assert service.revoke_subject("alice") == 2
+    with pytest.raises(TokenRevoked):
+        validator(clock, key, "login-node", service).validate(t1)
+    assert validator(clock, key, "login-node", service).validate(t3)["sub"] == "bob"
+
+
+def test_revoke_subject_scoped_to_project(svc):
+    clock, key, service = svc
+    t1, _ = service.mint("alice", "login-node", Role.RESEARCHER, project="p1")
+    t2, _ = service.mint("alice", "login-node", Role.RESEARCHER, project="p2")
+    assert service.revoke_subject("alice", project="p1") == 1
+    with pytest.raises(TokenRevoked):
+        validator(clock, key, "login-node", service).validate(t1)
+    assert validator(clock, key, "login-node", service).validate(t2)["project"] == "p2"
+
+
+def test_role_without_capabilities_cannot_be_minted(svc):
+    _, _, service = svc
+    with pytest.raises(AuthorizationError):
+        service.mint("alice", "anywhere", "nonexistent-role")
+
+
+def test_live_tokens_bookkeeping(svc):
+    clock, key, service = svc
+    service.mint("alice", "a", Role.RESEARCHER, ttl=100)
+    service.mint("alice", "b", Role.RESEARCHER, ttl=1000)
+    service.mint("bob", "a", Role.PI, ttl=1000)
+    assert len(service.live_tokens()) == 3
+    assert len(service.live_tokens("alice")) == 2
+    clock.advance(200)
+    assert len(service.live_tokens("alice")) == 1
+
+
+def test_token_carries_exact_role_caps(svc):
+    """Least privilege: caps in the token == caps of the role, never more."""
+    clock, key, service = svc
+    for role in (Role.RESEARCHER, Role.PI, Role.ADMIN_INFRA):
+        token, _ = service.mint("x", "aud", role)
+        claims = validator(clock, key, "aud", service).validate(token)
+        assert set(claims["caps"]) == set(capabilities_for(role))
+
+
+@given(ttl=st.floats(min_value=1, max_value=10_000))
+def test_property_expiry_never_exceeds_max_ttl(ttl):
+    clock = SimClock()
+    key = generate_signing_key("EdDSA", kid="p")
+    service = TokenService(clock, IdFactory(1), key, ISS, max_ttl=3600)
+    _, record = service.mint("s", "a", Role.RESEARCHER, ttl=ttl)
+    assert record.expires_at - record.issued_at <= 3600
