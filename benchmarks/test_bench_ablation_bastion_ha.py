@@ -24,7 +24,9 @@ def rolling_patch_availability(vm_count: int, seed: int, *, attempts_per_vm: int
 
     ok = total = 0
     for vm in list(dri.bastion.vms):
-        dri.bastion.drain(vm.vm_id)
+        # the single-VM baseline must force the drain: the guard refuses
+        # to take down the last live bastion during a rolling patch
+        dri.bastion.drain(vm.vm_id, force=(vm_count == 1))
         for _ in range(attempts_per_vm):
             total += 1
             if client.ssh(alias).ok:
@@ -62,6 +64,15 @@ def test_ablation_bastion_ha(benchmark, report):
     counts = [vm.connections_handled for vm in dri2.bastion.vms]
     lb_rows = [[vm.vm_id, vm.connections_handled] for vm in dri2.bastion.vms]
     assert max(counts) - min(counts) <= 1
+
+    # the drain guard: an unforced drain of the last live VM is refused,
+    # so a rolling patch cannot silently zero availability
+    from repro.errors import ConfigurationError
+    dri3, _, _ = rolling_patch_availability(2, seed=86)
+    dri3.bastion.drain("bastion-vm0")
+    with pytest.raises(ConfigurationError):
+        dri3.bastion.drain("bastion-vm1")
+    assert len(dri3.bastion.up_vms()) == 1
 
     report("ablation_bastion_ha", "\n\n".join([
         format_table(["bastion VMs", "login availability during rolling patch",

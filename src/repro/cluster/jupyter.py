@@ -14,19 +14,34 @@ receives in the ``X-Isambard-Token`` header:
    enforcement, tenet 6.
 
 The spawner then places the session on a free compute node.
+
+**Graceful degradation** (resilience layer): when the broker is
+unreachable, the authenticator falls back to its local cached-JWKS
+validation *plus* the most recent introspection verdict for that exact
+token — accepted only while the verdict is younger than
+``staleness_window``.  A token never introspected, or whose cached
+verdict has gone stale, is refused (fail closed).  The window bounds the
+security cost: a token revoked at time *T* can be accepted in degraded
+mode only until *T + staleness_window*, because any introspection after
+*T* caches the revocation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.audit import AuditLog, Outcome
 from repro.broker.rbac import require_capability
 from repro.broker.tokens import RbacTokenValidator
 from repro.clock import SimClock
 from repro.cluster.nodes import NodePool
-from repro.errors import AuthenticationError, SchedulerError, TokenRevoked
+from repro.errors import (
+    AuthenticationError,
+    SchedulerError,
+    ServiceUnavailable,
+    TokenRevoked,
+)
 from repro.ids import IdFactory
 from repro.net.http import HttpRequest, HttpResponse, Service, route
 from repro.tunnels.zenith import TOKEN_HEADER
@@ -58,6 +73,12 @@ class JupyterService(Service):
     broker_endpoint:
         Where to introspect tokens (set to ``None`` to disable the
         round-trip — used by the ablation bench to show what it buys).
+    staleness_window:
+        How long a cached per-token introspection verdict may substitute
+        for a live round-trip while the broker is unreachable.  The
+        documented availability/security trade-off: larger windows ride
+        longer broker outages but widen the post-revocation acceptance
+        bound by the same amount.
     """
 
     def __init__(
@@ -71,6 +92,7 @@ class JupyterService(Service):
         audit: Optional[AuditLog] = None,
         broker_endpoint: Optional[str] = "broker",
         session_ttl: float = 4 * 3600.0,
+        staleness_window: float = 60.0,
     ) -> None:
         super().__init__(name)
         self.clock = clock
@@ -80,20 +102,56 @@ class JupyterService(Service):
         self.audit = audit if audit is not None else AuditLog(f"{name}-audit")
         self.broker_endpoint = broker_endpoint
         self.session_ttl = session_ttl
+        self.staleness_window = staleness_window
         self._sessions: Dict[str, JupyterSession] = {}
+        # jti -> (introspection time, active?) for degraded-mode validation
+        self._introspection_cache: Dict[str, Tuple[float, bool]] = {}
         self.spawns = 0
+        self.degraded_validations = 0
+        self.degraded_rejections = 0
 
     # ------------------------------------------------------------------
-    def _introspect(self, token: str) -> None:
-        """Round-trip to the broker's OIDC endpoint (catches revocation)."""
+    def _introspect(self, token: str, jti: str, subject: str) -> None:
+        """Round-trip to the broker's OIDC endpoint (catches revocation).
+
+        Falls back to the cached verdict for this ``jti`` — bounded by
+        ``staleness_window`` — when the broker is unreachable.
+        """
         if self.broker_endpoint is None:
             return
-        resp = self.call(
-            self.broker_endpoint,
-            HttpRequest("POST", "/introspect", body={"token": token}),
-        )
-        if not resp.ok or resp.body.get("active") is not True:
+        try:
+            resp = self.call(
+                self.broker_endpoint,
+                HttpRequest("POST", "/introspect", body={"token": token}),
+            )
+        except ServiceUnavailable as exc:
+            self._validate_degraded(jti, subject, exc)
+            return
+        active = resp.ok and resp.body.get("active") is True
+        self._introspection_cache[jti] = (self.clock.now(), active)
+        if not active:
             raise TokenRevoked("broker introspection reports token inactive")
+
+    def _validate_degraded(self, jti: str, subject: str,
+                           cause: ServiceUnavailable) -> None:
+        """Broker unreachable: accept only a fresh cached 'active' verdict."""
+        now = self.clock.now()
+        cached = self._introspection_cache.get(jti)
+        if cached is not None:
+            verdict_at, active = cached
+            if active and now - verdict_at <= self.staleness_window:
+                self.degraded_validations += 1
+                self.log_event(subject, "jupyter.introspect.degraded", jti,
+                               Outcome.INFO, reason=str(cause),
+                               verdict_age=round(now - verdict_at, 6))
+                return
+        self.degraded_rejections += 1
+        self.log_event(subject, "jupyter.introspect.unavailable", jti,
+                       Outcome.DENIED, reason=str(cause))
+        raise ServiceUnavailable(
+            "broker introspection unreachable and no fresh cached verdict "
+            f"for this token (staleness window {self.staleness_window:.0f}s)"
+        ) from cause
 
     @route("GET", "/")
     def open_notebook(self, request: HttpRequest) -> HttpResponse:
@@ -109,8 +167,8 @@ class JupyterService(Service):
             )
         claims = self.validator.validate(token)
         require_capability(claims, "jupyter.use")
-        self._introspect(token)
         subject = str(claims["sub"])
+        self._introspect(token, str(claims["jti"]), subject)
         account = str(claims.get("unix_account", ""))
 
         session = self._live_session(subject)

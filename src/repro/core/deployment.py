@@ -20,8 +20,9 @@ default-deny.  All cross-boundary traffic must be encrypted.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.audit import AuditLog, CombinedAuditView
 from repro.broker import IdentityBroker, RbacTokenValidator, Role
@@ -48,6 +49,7 @@ from repro.net import Firewall, Network, OperatingDomain, Service, Zone
 from repro.oidc import make_url
 from repro.policy import PolicyEngine, standard_zero_trust_rules
 from repro.portal import UserPortal
+from repro.resilience import FaultInjector, ResilienceRuntime, RetryPolicy
 from repro.siem import (
     KillSwitchController,
     LogForwarder,
@@ -120,6 +122,10 @@ class IsambardDeployment:
     dcim: Optional["object"] = None
     # SPIRE-style workload identity authority for the trust domain
     spire: Optional["object"] = None
+    # chaos harness (always attached; inert until faults are scheduled)
+    faults: Optional[FaultInjector] = None
+    # retry/breaker runtime; None when the deployment was built fail-fast
+    resilience: Optional[ResilienceRuntime] = None
 
     # ------------------------------------------------------------------
     def validator_for(self, audience: str) -> RbacTokenValidator:
@@ -131,11 +137,14 @@ class IsambardDeployment:
 
     def refresh_tunnels(self) -> None:
         """Heartbeat the Zenith tunnel registrations (the deployment's
-        periodic job; call after long simulated-time jumps)."""
-        token, _ = self.broker.tokens.mint(
-            "mdc-zenith-client", "zenith", Role.SERVICE, ttl=300
-        )
-        self.zenith_client.register_with("zenith", "jupyter", token)
+        periodic job; call after long simulated-time jumps or after an
+        outage dropped the tunnel — re-enrollment mints a fresh token)."""
+        if self.zenith_client.heartbeat() is None:
+            # first registration: the client has nothing to re-enrol yet
+            token, _ = self.broker.tokens.mint(
+                "mdc-zenith-client", "zenith", Role.SERVICE, ttl=300
+            )
+            self.zenith_client.register_with("zenith", "jupyter", token)
 
     def ship_logs(self) -> None:
         """Force-flush every forwarder (benches call this before reading
@@ -206,6 +215,8 @@ def build_isambard(
     forward_interval: float = 5.0,
     auto_contain: bool = True,
     idp_specs=DEFAULT_IDPS,
+    resilience: Union[bool, RetryPolicy] = False,
+    staleness_window: float = 60.0,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
 
@@ -214,6 +225,16 @@ def build_isambard(
     ``rbac_default_ttl`` for the token-lifetime sweep, vary
     ``bastion_vms`` for the HA study, and ``forward_interval`` for
     detection-latency studies.
+
+    ``resilience`` turns the retry/circuit-breaker layer on for every
+    control-plane client (pass a :class:`~repro.resilience.RetryPolicy`
+    to override the default policy); the default ``False`` keeps the
+    historical fail-fast behaviour.  A :class:`FaultInjector` is always
+    attached as ``dri.faults`` — it is inert until the chaos ablation
+    schedules faults on it, and it draws from its own seeded RNG so
+    arming it never perturbs the identity/secret streams.
+    ``staleness_window`` bounds Jupyter's degraded-mode acceptance of
+    cached introspection verdicts while the broker is unreachable.
     """
     clock = SimClock(start=0.0)
     ids = IdFactory(seed=seed)
@@ -223,9 +244,18 @@ def build_isambard(
     }
     audit = CombinedAuditView(logs)
 
+    faults = FaultInjector(clock, random.Random(seed * 7919 + 13))
+    runtime: Optional[ResilienceRuntime] = None
+    if resilience:
+        runtime = ResilienceRuntime(
+            clock, random.Random(seed * 104729 + 7),
+            policy=resilience if isinstance(resilience, RetryPolicy) else None,
+        )
+
     firewall = Firewall(segmented=segmented)
     _open_fig1_flows(firewall)
-    network = Network(clock, firewall=firewall, audit=logs["network"])
+    network = Network(clock, firewall=firewall, audit=logs["network"],
+                      faults=faults)
 
     # ------------------------------------------------------------- federation
     edugain = EduGain()
@@ -345,11 +375,16 @@ def build_isambard(
     jupyter = JupyterService(
         "jupyter", clock, ids, jupyter_validator, pool,
         audit=logs["mdc"], broker_endpoint="broker",
+        staleness_window=staleness_window,
     )
     network.attach(jupyter, OperatingDomain.MDC, Zone.HPC)
 
     zenith_client = ZenithClient("zenith-client", "jupyter")
     network.attach(zenith_client, OperatingDomain.MDC, Zone.HPC)
+    # re-enrollment after a drop mints a fresh service token each time
+    zenith_client.token_source = lambda: broker.tokens.mint(
+        "mdc-zenith-client", "zenith", Role.SERVICE, ttl=300
+    )[0]
 
     mgmt_node = ManagementNode(
         "mgmt-node", clock, validator_for("mgmt-node"), pool,
@@ -503,6 +538,12 @@ def build_isambard(
     # configuration assessment (SOC task 3)
     _register_config_checks(soc, network, bastion, admin_idp, broker, filesystem)
 
+    # --- resilience kits: per-client retry/backoff + circuit breakers ----
+    if runtime is not None:
+        for svc in (broker, portal, zenith, edge, jupyter, zenith_client,
+                    shipper, bastion, tailnet, soc):
+            svc.resilience = runtime.for_client(svc.name)
+
     # --- the revocation fan-out the portal hook calls --------------------
     def _revoke_everywhere(uid: str, project: str, account: str) -> None:
         broker.revoke_user_access(uid, project)
@@ -528,6 +569,7 @@ def build_isambard(
         pool_i3=pool_i3, login_sshd_i3=login_sshd_i3,
         mgmt_node_i3=mgmt_node_i3, slurm_i3=slurm_i3,
         dcim=dcim, spire=spire,
+        faults=faults, resilience=runtime,
     )
     dri.refresh_tunnels()
 

@@ -65,6 +65,9 @@ class Workflows:
     def _new_agent(self, name: str) -> UserAgent:
         agent = UserAgent(f"{name}-laptop")
         self.dri.network.attach(agent, OperatingDomain.EXTERNAL, Zone.INTERNET)
+        if self.dri.resilience is not None:
+            # browsers retry too: give each device its own breaker/metrics
+            agent.resilience = self.dri.resilience.for_client(agent.name)
         return agent
 
     def create_researcher(

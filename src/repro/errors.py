@@ -31,6 +31,8 @@ __all__ = [
     "ConnectionBlocked",
     "EncryptionRequired",
     "ServiceUnavailable",
+    "FaultInjected",
+    "CircuitOpen",
     "RateLimited",
     "CertificateError",
     "PolicyViolation",
@@ -136,6 +138,17 @@ class EncryptionRequired(NetworkError):
 
 class ServiceUnavailable(NetworkError):
     """The destination endpoint exists but is not serving (down/patching)."""
+
+
+class FaultInjected(ServiceUnavailable):
+    """The chaos harness failed this message (outage, brownout, flap or
+    partition).  Subclasses :class:`ServiceUnavailable` so clients handle
+    injected faults exactly as they would a real dependency outage."""
+
+
+class CircuitOpen(ServiceUnavailable):
+    """A client-side circuit breaker is shedding load to this destination.
+    The request was never sent; retrying immediately is pointless."""
 
 
 class RateLimited(NetworkError):

@@ -15,7 +15,12 @@ from typing import Dict, Optional
 
 from repro.audit import AuditLog, Outcome
 from repro.clock import SimClock
-from repro.errors import AuthenticationError, MFAFailed, RegistrationError
+from repro.errors import (
+    AuthenticationError,
+    MFAFailed,
+    MFARequired,
+    RegistrationError,
+)
 from repro.federation.assurance import LevelOfAssurance
 from repro.federation.mfa import TotpDevice
 from repro.ids import IdFactory
@@ -116,7 +121,9 @@ class LastResortIdP(OidcProvider):
             self._audit(username, "lastresort.login", "", Outcome.DENIED, reason="inactive")
             raise AuthenticationError("account deactivated")
         if not otp:
-            raise MFAFailed("TOTP code required")
+            # the factor is *absent*, not wrong — MFARequired, so clients
+            # can prompt for a code instead of treating it as a bad one
+            raise MFARequired("TOTP code required")
         if not user.totp.verify(otp, self.clock.now()):
             self._audit(username, "lastresort.login", "", Outcome.DENIED, reason="otp")
             raise MFAFailed("TOTP code incorrect")

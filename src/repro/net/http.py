@@ -86,6 +86,8 @@ class Service:
         self.name = name
         self.network = None  # set by Network.attach
         self.endpoint = None
+        # optional repro.resilience.Resilience kit wrapping outbound calls
+        self.resilience = None
         self._routes: Dict[Tuple[str, str], Callable[[HttpRequest], HttpResponse]] = {}
         for attr in dir(type(self)):
             fn = getattr(type(self), attr)
@@ -121,9 +123,24 @@ class Service:
         port: int = 443,
         encrypted: bool = True,
     ) -> HttpResponse:
-        """Make an outbound request through the attached network."""
+        """Make an outbound request through the attached network.
+
+        With a resilience kit attached, transient transport failures
+        (``ServiceUnavailable`` and its injected-fault subclasses) are
+        retried with backoff and circuit-broken per destination; the
+        network fails faulted messages before delivery, so these retries
+        never replay a partially applied request.
+        """
         if self.network is None or self.endpoint is None:
             raise RuntimeError(f"service {self.name} is not attached to a network")
+        if self.resilience is not None:
+            return self.resilience.call(
+                lambda: self.network.request(
+                    self.endpoint.name, dst, request, port=port,
+                    encrypted=encrypted,
+                ),
+                dst=dst,
+            )
         return self.network.request(
             self.endpoint.name, dst, request, port=port, encrypted=encrypted
         )

@@ -13,6 +13,12 @@ then delivers to the destination service and advances the simulated clock
 by the link latency, so end-to-end workflow latency is measurable in the
 benchmarks.  Allowed and denied flows are both recorded in the network's
 audit log (tenet 7).
+
+A :class:`~repro.resilience.faults.FaultInjector` may be attached; it is
+consulted after the policy checks and may fail the message
+(``FaultInjected``, a ``ServiceUnavailable``) or slow its delivery.
+Injected failures happen *before* the destination service runs, so a
+failed message was never partially applied — client retries are safe.
 """
 
 from __future__ import annotations
@@ -60,6 +66,9 @@ class Network:
         Where network-level events land.
     hop_latency:
         Simulated seconds consumed per delivered message.
+    faults:
+        Optional chaos harness (``repro.resilience.FaultInjector``);
+        consulted per message once policy checks pass.
     """
 
     def __init__(
@@ -69,14 +78,17 @@ class Network:
         audit: Optional[AuditLog] = None,
         *,
         hop_latency: float = 0.001,
+        faults=None,
     ) -> None:
         self.clock = clock
         self.firewall = firewall if firewall is not None else Firewall()
         self.audit = audit if audit is not None else AuditLog("network")
         self.hop_latency = hop_latency
+        self.faults = faults
         self._endpoints: Dict[str, Endpoint] = {}
         self.messages_delivered = 0
         self.messages_blocked = 0
+        self.messages_faulted = 0
 
     # ------------------------------------------------------------------
     # topology
@@ -182,8 +194,23 @@ class Network:
             )
             raise ServiceUnavailable(f"endpoint {dst} is down")
 
+        extra_latency = 0.0
+        if self.faults is not None:
+            try:
+                extra_latency = self.faults.perturb(s, d)
+            except ServiceUnavailable as exc:
+                self.messages_faulted += 1
+                # a failed connect still burns the caller's timeout
+                self.clock.advance(self.faults.fail_cost)
+                self.audit.record(
+                    self.clock.now(), "network", src, "fault.injected", dst,
+                    Outcome.ERROR, domain=str(d.domain), zone=str(d.zone),
+                    reason=str(exc),
+                )
+                raise
+
         request.source = src
-        self.clock.advance(self.hop_latency)
+        self.clock.advance(self.hop_latency + extra_latency)
         self.messages_delivered += 1
         self.audit.record(
             self.clock.now(), "network", src, "message.delivered", dst,

@@ -18,7 +18,11 @@ from typing import Dict, Optional, Tuple
 
 from repro.clock import SimClock
 from repro.crypto import JwkSet, JwtValidator
-from repro.errors import AuthenticationError, ConfigurationError
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    ServiceUnavailable,
+)
 from repro.net.http import HttpRequest, HttpResponse, Service
 from repro.oidc.messages import ClientConfig, make_url, parse_url, pkce_challenge
 
@@ -126,6 +130,12 @@ class RelyingParty:
         This RP's registration at the provider.
     clock, ids:
         Simulation plumbing (ids generate state/verifier/nonce).
+    jwks_max_age:
+        Bounded-staleness window for the cached provider metadata/JWKS.
+        ``None`` (default) trusts the cache until a signature failure
+        forces a refresh; a number makes :meth:`_discover` re-fetch once
+        the cache is older — falling back to the stale cache (degraded
+        mode) if the provider is unreachable at that moment.
     """
 
     def __init__(
@@ -135,28 +145,50 @@ class RelyingParty:
         client: ClientConfig,
         clock: SimClock,
         ids,
+        *,
+        jwks_max_age: Optional[float] = None,
     ) -> None:
         self.owner = owner
         self.provider = provider_endpoint
         self.client = client
         self.clock = clock
         self.ids = ids
+        self.jwks_max_age = jwks_max_age
         self._issuer: Optional[str] = None
         self._jwks: Optional[JwkSet] = None
+        self._jwks_fetched_at: float = 0.0
         self._pending: Dict[str, FlowState] = {}
+        self.degraded_discoveries = 0
 
     # ------------------------------------------------------------------
-    def _discover(self) -> None:
-        if self._issuer is not None:
-            return
-        resp = self.owner.call(
-            self.provider, HttpRequest("GET", "/.well-known/openid-configuration")
-        )
-        if not resp.ok:
-            raise AuthenticationError(f"OIDC discovery at {self.provider} failed")
-        self._issuer = str(resp.body["issuer"])
-        jwks_resp = self.owner.call(self.provider, HttpRequest("GET", "/jwks"))
-        self._jwks = JwkSet.from_jwks(jwks_resp.body)  # type: ignore[arg-type]
+    def _discover(self, *, force: bool = False) -> None:
+        if self._issuer is not None and not force:
+            age = self.clock.now() - self._jwks_fetched_at
+            if self.jwks_max_age is None or age <= self.jwks_max_age:
+                return
+        try:
+            resp = self.owner.call(
+                self.provider,
+                HttpRequest("GET", "/.well-known/openid-configuration"),
+            )
+            if not resp.ok:
+                raise AuthenticationError(
+                    f"OIDC discovery at {self.provider} failed")
+            issuer = str(resp.body["issuer"])
+            jwks_resp = self.owner.call(
+                self.provider, HttpRequest("GET", "/jwks"))
+            jwks = JwkSet.from_jwks(jwks_resp.body)  # type: ignore[arg-type]
+        except ServiceUnavailable:
+            if self._issuer is not None:
+                # degraded mode: keep validating against the cached JWKS
+                # (bounded staleness); key rotation during the outage will
+                # surface as SignatureInvalid and force a retry later
+                self.degraded_discoveries += 1
+                return
+            raise
+        self._issuer = issuer
+        self._jwks = jwks
+        self._jwks_fetched_at = self.clock.now()
 
     @property
     def issuer(self) -> str:
@@ -223,9 +255,7 @@ class RelyingParty:
         except SignatureInvalid:
             # the provider may have rotated its keys: refresh the cached
             # JWKS once and retry before treating it as a forgery
-            self._issuer = None
-            self._jwks = None
-            self._discover()
+            self._discover(force=True)
             validator = JwtValidator(
                 self.clock, self.issuer, self.client.client_id, self._jwks
             )

@@ -1,0 +1,41 @@
+"""Resilience layer: fault injection, retry/backoff, circuit breaking.
+
+The zero-trust control plane treats dependency outages as routine (the
+federated IdP is an availability-critical dependency — Prout et al.;
+identity-layer resilience bounds zero-trust infrastructure — Avirneni).
+This package supplies both halves of that story:
+
+* :mod:`repro.resilience.faults` — a deterministic chaos harness hooked
+  into the simulated network;
+* :mod:`repro.resilience.retry` / :mod:`repro.resilience.breaker` — the
+  client-side machinery that rides through the chaos;
+
+and the deployment threads them through the OIDC, broker, tunnel and
+SIEM paths (see ``build_isambard(resilience=...)`` and the graceful-
+degradation seams in ``cluster.jupyter``, ``oidc.client``,
+``siem.forwarder`` and ``tunnels.zenith``).
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.faults import Fault, FaultInjector
+from repro.resilience.retry import (
+    Resilience,
+    ResilienceMetrics,
+    ResilienceRuntime,
+    RetryPolicy,
+    call_with_resilience,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "Fault",
+    "FaultInjector",
+    "Resilience",
+    "ResilienceMetrics",
+    "ResilienceRuntime",
+    "RetryPolicy",
+    "call_with_resilience",
+]

@@ -1,0 +1,223 @@
+"""Deterministic fault injection for the simulated network (chaos harness).
+
+The paper's availability claims — HA bastions patched live (ABL4),
+kill-switch containment under attack (ABL3), 45 simultaneous workshop
+logins (§IV.B) — are only meaningful if the control plane can be driven
+through *adversity*.  :class:`FaultInjector` is the seam: the deployment
+hands one to :class:`~repro.net.network.Network`, and every message that
+passes segmentation and transport policy is then offered to the injector,
+which may fail it or slow it down.
+
+Faults are windows on the shared :class:`~repro.clock.SimClock` and all
+randomness comes from an injected ``random.Random``, so a chaos run is
+bit-for-bit reproducible from its seed — the same property the rest of
+the simulation guarantees.
+
+Supported fault kinds (per endpoint, or per (domain, zone) flow):
+
+* **outage** — every message to the endpoint fails;
+* **brownout** — each message fails independently with probability *p*;
+* **latency spike** — messages are delivered but cost extra simulated time;
+* **flap** — the endpoint cycles up/down with a fixed period;
+* **partition** — traffic between two (domain, zone) locations fails in
+  both directions, regardless of endpoint health.
+
+Injected failures raise :class:`~repro.errors.FaultInjected`, a subclass
+of :class:`~repro.errors.ServiceUnavailable` — clients cannot tell chaos
+from a real outage, which is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import SimClock
+from repro.errors import ConfigurationError, FaultInjected
+
+__all__ = ["Fault", "FaultInjector"]
+
+# fault kinds
+OUTAGE = "outage"
+BROWNOUT = "brownout"
+LATENCY = "latency"
+FLAP = "flap"
+PARTITION = "partition"
+
+
+@dataclass
+class Fault:
+    """One scheduled perturbation.  ``duration=None`` means "until cleared"."""
+
+    kind: str
+    endpoint: Optional[str]
+    start: float
+    duration: Optional[float] = None
+    probability: float = 1.0          # brownout failure probability
+    extra_latency: float = 0.0        # latency-spike cost per message
+    period: float = 0.0               # flap cycle length
+    up_fraction: float = 0.5          # fraction of each flap period spent up
+    # partition locations as (domain, zone) with zone None = whole domain
+    loc_a: Optional[Tuple[object, object]] = None
+    loc_b: Optional[Tuple[object, object]] = None
+    hits: int = 0                     # messages this fault failed or slowed
+    cleared: bool = False
+
+    def active(self, now: float) -> bool:
+        if self.cleared or now < self.start:
+            return False
+        return self.duration is None or now < self.start + self.duration
+
+    def clear(self) -> None:
+        self.cleared = True
+
+
+def _loc_matches(loc: Tuple[object, object], domain, zone) -> bool:
+    want_domain, want_zone = loc
+    return domain == want_domain and (want_zone is None or zone == want_zone)
+
+
+class FaultInjector:
+    """The chaos controller: schedule faults, perturb messages.
+
+    Parameters
+    ----------
+    clock:
+        Shared simulated clock; fault windows are measured on it.
+    rng:
+        Dedicated ``random.Random`` for brownout draws.  Give the injector
+        its *own* seeded instance (not the deployment's ``IdFactory`` rng)
+        so enabling chaos does not shift identifier/secret generation.
+    fail_cost:
+        Simulated seconds a failed message costs the caller (the connect
+        timeout it burns discovering the fault).
+    """
+
+    def __init__(self, clock: SimClock, rng, *, fail_cost: float = 0.025) -> None:
+        self.clock = clock
+        self.rng = rng
+        self.fail_cost = fail_cost
+        self.faults: List[Fault] = []
+        self.injected_failures = 0
+        self.injected_latency = 0.0
+        self.failures_by_endpoint: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # scheduling faults
+    # ------------------------------------------------------------------
+    def _add(self, fault: Fault) -> Fault:
+        self.faults.append(fault)
+        return fault
+
+    def outage(self, endpoint: str, *, start: Optional[float] = None,
+               duration: Optional[float] = None) -> Fault:
+        """Hard-down window for ``endpoint``."""
+        return self._add(Fault(OUTAGE, endpoint,
+                               self.clock.now() if start is None else start,
+                               duration))
+
+    def brownout(self, endpoint: str, probability: float, *,
+                 start: Optional[float] = None,
+                 duration: Optional[float] = None) -> Fault:
+        """Each message to ``endpoint`` fails with ``probability``."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"brownout probability must be in [0, 1], got {probability}")
+        return self._add(Fault(BROWNOUT, endpoint,
+                               self.clock.now() if start is None else start,
+                               duration, probability=probability))
+
+    def latency_spike(self, endpoint: str, extra: float, *,
+                      start: Optional[float] = None,
+                      duration: Optional[float] = None) -> Fault:
+        """Messages to ``endpoint`` cost ``extra`` additional seconds."""
+        if extra < 0:
+            raise ConfigurationError(f"extra latency must be >= 0, got {extra}")
+        return self._add(Fault(LATENCY, endpoint,
+                               self.clock.now() if start is None else start,
+                               duration, extra_latency=extra))
+
+    def flap(self, endpoint: str, period: float, *, up_fraction: float = 0.5,
+             start: Optional[float] = None,
+             duration: Optional[float] = None) -> Fault:
+        """``endpoint`` cycles: up for ``up_fraction`` of each ``period``,
+        then down for the remainder."""
+        if period <= 0 or not 0.0 <= up_fraction <= 1.0:
+            raise ConfigurationError("flap needs period > 0 and up_fraction in [0, 1]")
+        return self._add(Fault(FLAP, endpoint,
+                               self.clock.now() if start is None else start,
+                               duration, period=period, up_fraction=up_fraction))
+
+    def partition(self, loc_a: Tuple[object, object], loc_b: Tuple[object, object],
+                  *, start: Optional[float] = None,
+                  duration: Optional[float] = None) -> Fault:
+        """Sever traffic between two (domain, zone) locations, both ways.
+        A ``None`` zone matches the whole domain."""
+        return self._add(Fault(PARTITION, None,
+                               self.clock.now() if start is None else start,
+                               duration, loc_a=tuple(loc_a), loc_b=tuple(loc_b)))
+
+    def clear(self, fault: Optional[Fault] = None) -> None:
+        """End one fault, or every scheduled fault."""
+        if fault is not None:
+            fault.clear()
+        else:
+            for f in self.faults:
+                f.clear()
+
+    def active_faults(self) -> List[Fault]:
+        now = self.clock.now()
+        return [f for f in self.faults if f.active(now)]
+
+    # ------------------------------------------------------------------
+    # the network hook
+    # ------------------------------------------------------------------
+    def perturb(self, src, dst) -> float:
+        """Offer one message for perturbation; called by the network after
+        policy checks, before delivery.
+
+        ``src``/``dst`` are endpoint-shaped objects (``name``, ``domain``,
+        ``zone``).  Returns extra latency to impose on delivery; raises
+        :class:`FaultInjected` to fail the message.  Failures happen
+        *before* delivery, so the destination never observes a partially
+        applied request — which is what makes client retries safe.
+        """
+        now = self.clock.now()
+        extra = 0.0
+        for fault in self.faults:
+            if not fault.active(now):
+                continue
+            if fault.kind == PARTITION:
+                a, b = fault.loc_a, fault.loc_b
+                if (_loc_matches(a, src.domain, src.zone)
+                        and _loc_matches(b, dst.domain, dst.zone)) or \
+                   (_loc_matches(b, src.domain, src.zone)
+                        and _loc_matches(a, dst.domain, dst.zone)):
+                    self._fail(fault, dst.name,
+                               f"partition {a} <-> {b} drops {src.name} -> {dst.name}")
+                continue
+            if fault.endpoint != dst.name:
+                continue
+            if fault.kind == OUTAGE:
+                self._fail(fault, dst.name, f"injected outage at {dst.name}")
+            elif fault.kind == BROWNOUT:
+                if self.rng.random() < fault.probability:
+                    self._fail(fault, dst.name,
+                               f"injected brownout at {dst.name} "
+                               f"(p={fault.probability})")
+            elif fault.kind == FLAP:
+                phase = (now - fault.start) % fault.period
+                if phase >= fault.period * fault.up_fraction:
+                    self._fail(fault, dst.name, f"injected flap: {dst.name} is down")
+            elif fault.kind == LATENCY:
+                fault.hits += 1
+                extra += fault.extra_latency
+        self.injected_latency += extra
+        return extra
+
+    def _fail(self, fault: Fault, endpoint: str, message: str) -> None:
+        fault.hits += 1
+        self.injected_failures += 1
+        self.failures_by_endpoint[endpoint] = (
+            self.failures_by_endpoint.get(endpoint, 0) + 1)
+        raise FaultInjected(message)

@@ -1,0 +1,266 @@
+"""Retry with exponential backoff, and the per-client resilience wrapper.
+
+``RetryPolicy`` describes *how* to retry: attempt budget, exponential
+backoff with deterministic jitter (an injected ``random.Random``), an
+optional total-time deadline, and which exception classes are considered
+transient.  Backoff advances the shared :class:`~repro.clock.SimClock`
+instead of sleeping, so retries cost measurable simulated time and fire
+any scheduled events (forwarder flushes, detection timers) that fall
+inside the wait — exactly as a real wait would.
+
+``Resilience`` bundles a policy with per-destination circuit breakers
+and shared metrics; :class:`~repro.net.http.Service` consults it on
+every outbound call when the deployment enables resilience.  Retrying a
+transport-level failure is always safe here: the network fails faulted
+messages *before* delivery, so a retried request was never partially
+applied (see :mod:`repro.resilience.faults`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Type
+
+from repro.clock import SimClock
+from repro.errors import CircuitOpen, ServiceUnavailable
+from repro.resilience.breaker import CircuitBreaker
+
+__all__ = [
+    "RetryPolicy",
+    "ResilienceMetrics",
+    "call_with_resilience",
+    "Resilience",
+    "ResilienceRuntime",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries transient failures.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries (first call included).  1 disables retrying.
+    base_delay, multiplier, max_delay:
+        Exponential backoff: attempt *n* waits
+        ``min(base_delay * multiplier**(n-1), max_delay)`` seconds.
+    jitter:
+        Fraction of each backoff randomised away (0 = none, 0.5 = the
+        wait is 50-100% of the computed backoff).  Drawn from the
+        injected rng, so jitter is deterministic per seed.
+    deadline:
+        Optional cap on *total* simulated time spent (including waits);
+        a retry that would overrun it is abandoned and the last error
+        re-raised.
+    retry_on:
+        Exception classes treated as transient.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    deadline: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = (ServiceUnavailable,)
+
+    def backoff(self, attempt: int, rng) -> float:
+        """Wait before attempt ``attempt + 1`` (``attempt`` is 1-based)."""
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if self.jitter > 0:
+            raw *= 1.0 - self.jitter * rng.random()
+        return raw
+
+
+@dataclass
+class ResilienceMetrics:
+    """Per-client counters the chaos ablation reads out."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    successes: int = 0
+    failures: int = 0              # calls that exhausted their budget
+    short_circuits: int = 0        # calls refused by an open breaker
+    by_destination: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "calls": self.calls, "attempts": self.attempts,
+            "retries": self.retries, "successes": self.successes,
+            "failures": self.failures, "short_circuits": self.short_circuits,
+        }
+
+
+def call_with_resilience(
+    fn: Callable[[], object],
+    *,
+    clock: SimClock,
+    policy: RetryPolicy,
+    rng,
+    breaker: Optional[CircuitBreaker] = None,
+    metrics: Optional[ResilienceMetrics] = None,
+    label: str = "",
+):
+    """Run ``fn`` under ``policy``, consulting ``breaker`` before each try.
+
+    Raises :class:`CircuitOpen` without calling ``fn`` when the breaker is
+    shedding; otherwise re-raises the last transient error once the
+    attempt/deadline budget is spent.  Non-transient exceptions propagate
+    immediately.
+    """
+    if metrics is not None:
+        metrics.calls += 1
+    start = clock.now()
+    attempt = 0
+    while True:
+        if breaker is not None and not breaker.allow():
+            if metrics is not None:
+                metrics.short_circuits += 1
+            raise CircuitOpen(
+                f"circuit open for {label or 'destination'}; shedding load")
+        attempt += 1
+        if metrics is not None:
+            metrics.attempts += 1
+        try:
+            result = fn()
+        except policy.retry_on:
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt >= policy.max_attempts:
+                if metrics is not None:
+                    metrics.failures += 1
+                raise
+            delay = policy.backoff(attempt, rng)
+            if policy.deadline is not None and \
+                    clock.now() - start + delay > policy.deadline:
+                if metrics is not None:
+                    metrics.failures += 1
+                raise
+            if metrics is not None:
+                metrics.retries += 1
+            clock.advance(delay)
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            if metrics is not None:
+                metrics.successes += 1
+            return result
+
+
+class Resilience:
+    """One client's resilience kit: policy + per-destination breakers.
+
+    Attach an instance to a :class:`~repro.net.http.Service` (its
+    ``resilience`` attribute) and every outbound ``call`` is wrapped.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        rng,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        breaker_factory: Optional[Callable[[str], CircuitBreaker]] = None,
+        metrics: Optional[ResilienceMetrics] = None,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.rng = rng
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.metrics = metrics if metrics is not None else ResilienceMetrics()
+        self._breaker_factory = breaker_factory
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, dst: str) -> Optional[CircuitBreaker]:
+        if self._breaker_factory is None:
+            return None
+        breaker = self._breakers.get(dst)
+        if breaker is None:
+            breaker = self._breaker_factory(f"{self.name}->{dst}")
+            self._breakers[dst] = breaker
+        return breaker
+
+    def breakers(self) -> Dict[str, CircuitBreaker]:
+        return dict(self._breakers)
+
+    def call(self, fn: Callable[[], object], dst: str = ""):
+        self.metrics.by_destination[dst] = \
+            self.metrics.by_destination.get(dst, 0) + 1
+        return call_with_resilience(
+            fn, clock=self.clock, policy=self.policy, rng=self.rng,
+            breaker=self.breaker_for(dst), metrics=self.metrics,
+            label=f"{self.name}->{dst}",
+        )
+
+
+class ResilienceRuntime:
+    """Deployment-wide resilience: one policy, shared rng, per-client kits.
+
+    ``build_isambard(resilience=True)`` creates one and hands a
+    :class:`Resilience` to each control-plane client (and to every user
+    agent the workflows create), so the whole deployment retries, breaks
+    and degrades consistently — and so the chaos bench can read one
+    aggregated metrics view.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        rng,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        failure_threshold: int = 8,
+        recovery_time: float = 5.0,
+        half_open_probes: int = 1,
+    ) -> None:
+        self.clock = clock
+        self.rng = rng
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_probes = half_open_probes
+        self._clients: Dict[str, Resilience] = {}
+
+    def for_client(self, name: str) -> Resilience:
+        """The (cached) resilience kit for one named client."""
+        kit = self._clients.get(name)
+        if kit is None:
+            kit = Resilience(
+                name, self.clock, self.rng, policy=self.policy,
+                breaker_factory=lambda label: CircuitBreaker(
+                    self.clock, name=label,
+                    failure_threshold=self.failure_threshold,
+                    recovery_time=self.recovery_time,
+                    half_open_probes=self.half_open_probes,
+                ),
+            )
+            self._clients[name] = kit
+        return kit
+
+    def clients(self) -> Dict[str, Resilience]:
+        return dict(self._clients)
+
+    def totals(self) -> Dict[str, object]:
+        """Aggregate metrics across every client (for the bench table)."""
+        total = ResilienceMetrics()
+        opens = 0
+        time_open = 0.0
+        for kit in self._clients.values():
+            m = kit.metrics
+            total.calls += m.calls
+            total.attempts += m.attempts
+            total.retries += m.retries
+            total.successes += m.successes
+            total.failures += m.failures
+            total.short_circuits += m.short_circuits
+            for b in kit.breakers().values():
+                opens += b.opens
+                time_open += b.time_in_open()
+        out = total.snapshot()
+        out["breaker_opens"] = opens
+        out["breaker_time_in_open"] = round(time_open, 6)
+        return out

@@ -10,6 +10,12 @@ never raw payloads.
 Forwarders batch and flush on a timer (simulated-clock events), so the
 SOC's detection latency is the forwarding interval plus rule evaluation
 — measurable in the kill-switch ablation bench.
+
+The buffer is durable across sink outages: if the sink raises (SOC
+endpoint down, network partition), the batch is retained and replayed on
+a later flush, so an audit record is only ever lost when the bounded
+buffer overflows — and then it is *counted* (``lost``), never silently
+discarded.  The chaos ablation (ABL6) rides a SIEM sink outage on this.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.audit import AuditEvent, AuditLog
 from repro.clock import SimClock
+from repro.errors import ReproError
 
 __all__ = ["event_to_record", "LogForwarder"]
 
@@ -46,12 +53,20 @@ class LogForwarder:
     ----------
     sink:
         Callable receiving a list of records (the SOC's ingest, possibly
-        via the network).
+        via the network).  May raise :class:`ReproError` when the SOC is
+        unreachable; the batch is then retained for replay.
     interval:
         Flush period in seconds.
     actions_filter:
         If given, only events whose action starts with one of these
         prefixes are shipped (the "limited amount of data" agreement).
+    max_buffer:
+        Bound on retained records; the oldest are evicted (and counted in
+        ``lost``) when a sink outage outlasts the buffer.
+    retain_on_failure:
+        ``False`` restores the legacy fail-and-forget behaviour where a
+        batch whose sink call raises is gone — kept only so the chaos
+        ablation can show what durability buys.
     """
 
     def __init__(
@@ -62,15 +77,22 @@ class LogForwarder:
         *,
         interval: float = 5.0,
         actions_filter: Optional[Sequence[str]] = None,
+        max_buffer: int = 10_000,
+        retain_on_failure: bool = True,
     ) -> None:
         self.name = name
         self.clock = clock
         self.sink = sink
         self.interval = interval
         self.actions_filter = tuple(actions_filter) if actions_filter else None
+        self.max_buffer = max_buffer
+        self.retain_on_failure = retain_on_failure
         self._buffer: List[Dict[str, object]] = []
         self.shipped = 0
-        self.dropped = 0
+        self.dropped = 0        # filtered out by the agreed-actions list
+        self.lost = 0           # lost to buffer overflow / legacy mode
+        self.sink_failures = 0
+        self.last_sink_error: Optional[str] = None
         self._running = False
 
     # ------------------------------------------------------------------
@@ -85,6 +107,17 @@ class LogForwarder:
             self.dropped += 1
             return
         self._buffer.append(event_to_record(event))
+        self._enforce_cap()
+
+    def _enforce_cap(self) -> None:
+        overflow = len(self._buffer) - self.max_buffer
+        if overflow > 0:
+            del self._buffer[:overflow]
+            self.lost += overflow
+
+    def buffered(self) -> int:
+        """Records currently awaiting shipment."""
+        return len(self._buffer)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -104,10 +137,26 @@ class LogForwarder:
         self._running = False
 
     def flush(self) -> int:
-        """Ship the buffered batch now; returns records shipped."""
+        """Ship the buffered batch now; returns records shipped.
+
+        The buffer is swapped out before the sink call (the sink's own
+        network traffic may emit events that land back here); on failure
+        the batch is re-queued ahead of anything that arrived meanwhile,
+        preserving record order for the SOC's detection windows.
+        """
         if not self._buffer:
             return 0
         batch, self._buffer = self._buffer, []
-        self.sink(batch)
+        try:
+            self.sink(batch)
+        except ReproError as exc:
+            self.sink_failures += 1
+            self.last_sink_error = str(exc)
+            if self.retain_on_failure:
+                self._buffer = batch + self._buffer
+                self._enforce_cap()
+            else:
+                self.lost += len(batch)
+            return 0
         self.shipped += len(batch)
         return len(batch)

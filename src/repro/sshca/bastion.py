@@ -70,9 +70,27 @@ class BastionSet(Service):
     def up_vms(self) -> List[BastionVm]:
         return [vm for vm in self.vms if vm.up]
 
-    def drain(self, vm_id: str) -> None:
-        """Take one VM out of rotation (start of a rolling patch)."""
-        self._vm(vm_id).up = False
+    def drain(self, vm_id: str, *, force: bool = False) -> None:
+        """Take one VM out of rotation (start of a rolling patch).
+
+        Refuses to drain the last VM still up — that would silently turn
+        a rolling patch into a full outage of the only internet door into
+        SWS.  Deliberate shutdowns pass ``force=True`` (or use the kill
+        switch, which is the honest tool for that).
+        """
+        vm = self._vm(vm_id)
+        if not force and vm.up and len(self.up_vms()) == 1:
+            self.log_event("ops", "bastion.drain", vm_id, Outcome.DENIED,
+                reason="last-up-vm",
+            )
+            raise ConfigurationError(
+                f"refusing to drain {vm_id}: it is the last bastion VM up "
+                "(pass force=True to take the service down deliberately)"
+            )
+        vm.up = False
+        self.log_event("ops", "bastion.drain", vm_id, Outcome.INFO,
+            forced=force,
+        )
 
     def patch_and_restore(self, vm_id: str, image_version: str) -> None:
         """Finish patching: new read-only image, back into rotation."""

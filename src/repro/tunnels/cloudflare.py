@@ -95,18 +95,26 @@ class CloudflareEdge(Service):
             self.block_source(source)
         return False
 
+    def enforce(self, source: str, path: str, now: float) -> None:
+        """Apply threat-intel blocks and the rate limiter; raises
+        :class:`RateLimited` when the source must be refused."""
+        if source in self.blocked_sources or not self._rate_ok(source, now):
+            self.requests_blocked += 1
+            self.log_event(source, "edge.deny", path, Outcome.DENIED,
+                blocked=source in self.blocked_sources,
+            )
+            raise RateLimited("request blocked by the zero-trust edge")
+
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Edge processing happens before any routing."""
         now = self.clock.now()
         source = request.source or "unknown"
-        if source in self.blocked_sources or not self._rate_ok(source, now):
-            self.requests_blocked += 1
-            self.log_event(source, "edge.deny", request.path, Outcome.DENIED,
-                blocked=source in self.blocked_sources,
-            )
+        try:
+            self.enforce(source, request.path, now)
+        except RateLimited as exc:
+            # edges answer 429, not the 403 the generic handler would use
             return HttpResponse.error(
-                429, "request blocked by the zero-trust edge",
-                error_type=RateLimited.__name__,
+                429, str(exc), error_type=RateLimited.__name__,
             )
 
         parts = request.path.lstrip("/").split("/", 1)

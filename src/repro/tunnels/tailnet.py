@@ -118,6 +118,7 @@ class TailnetCoordinator(Service):
         self._exposed: Dict[str, FrozenSet[str]] = {}
         self.tailnet_killed = False
         self.relayed = 0
+        self.reenrolments = 0
 
     # ------------------------------------------------------------------
     # topology (deployment steps)
@@ -161,6 +162,42 @@ class TailnetCoordinator(Service):
         return HttpResponse.json(
             {"node_id": node.node_id, "key_expiry": node.key_expiry,
              "tags": sorted(node.tags)}
+        )
+
+    @route("POST", "/reenrol")
+    def reenrol(self, request: HttpRequest) -> HttpResponse:
+        """Rotate an existing node's key after an expiry or drop.
+
+        Requires a *fresh* RBAC token (a new admin authentication, same
+        bar as first enrolment) plus the node id; the device keeps its
+        identity and tags, so ACL state and audit continuity survive the
+        outage.  Disabled (kill-switched) nodes stay disabled.
+        """
+        if self.tailnet_killed:
+            raise KillSwitchActive("the management tailnet is shut down")
+        token = request.bearer_token()
+        if token is None:
+            raise AuthenticationError("tailnet re-enrolment requires an RBAC token")
+        claims = self.validator.validate(token)
+        require_capability(claims, "tailnet.join")
+        node_id = str(request.body.get("node_id", ""))
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise AuthenticationError(f"unknown tailnet node {node_id!r}")
+        if node.disabled:
+            self.log_event(str(claims["sub"]), "tailnet.reenrol", node_id,
+                Outcome.DENIED, reason="node-disabled",
+            )
+            raise KillSwitchActive(f"node {node_id} was disabled by the kill switch")
+        if node.owner != str(claims["sub"]):
+            raise AuthenticationError("only the enrolling subject may rotate a node key")
+        node.key_expiry = self.clock.now() + self.key_ttl
+        self.reenrolments += 1
+        self.log_event(node.owner, "tailnet.reenrol", node_id,
+            Outcome.SUCCESS,
+        )
+        return HttpResponse.json(
+            {"node_id": node.node_id, "key_expiry": node.key_expiry}
         )
 
     def node(self, node_id: str) -> Optional[TailnetNode]:

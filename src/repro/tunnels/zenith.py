@@ -42,21 +42,55 @@ TOKEN_HEADER = "X-Isambard-Token"
 
 
 class ZenithClient(Service):
-    """Runs inside the MDC next to one web service; dials out to the server."""
+    """Runs inside the MDC next to one web service; dials out to the server.
+
+    ``token_source`` (optional) lets the deployment wire a callable that
+    mints a fresh service token, so :meth:`heartbeat` can re-enroll the
+    tunnel on its own after a drop — the resilience layer's re-enrollment
+    seam.  Without it, heartbeats replay the last token used.
+    """
 
     def __init__(self, name: str, upstream_endpoint: str) -> None:
         super().__init__(name)
         self.upstream_endpoint = upstream_endpoint
+        self.token_source = None  # Optional[Callable[[], str]]
+        self._registration: Optional[Dict[str, str]] = None
+        self.reenrollments = 0
 
     def register_with(self, server_endpoint: str, service_name: str, token: str) -> HttpResponse:
         """Dial out and (re-)register the tunnel; also the heartbeat."""
-        return self.call(
+        resp = self.call(
             server_endpoint,
             HttpRequest(
                 "POST", "/register",
                 headers={"Authorization": f"Bearer {token}"},
                 body={"service": service_name},
             ),
+        )
+        if resp.ok:
+            self._registration = {
+                "server": server_endpoint,
+                "service": service_name,
+                "token": token,
+            }
+        return resp
+
+    def heartbeat(self) -> Optional[HttpResponse]:
+        """Re-register the last tunnel, minting a fresh token if wired.
+
+        Returns ``None`` when the client has never registered.  This is
+        what the deployment's tunnel-refresh loop calls, so a tunnel that
+        expired or was dropped during an outage comes back on its own
+        once the path heals.
+        """
+        if self._registration is None:
+            return None
+        token = self._registration["token"]
+        if self.token_source is not None:
+            token = self.token_source()
+        self.reenrollments += 1
+        return self.register_with(
+            self._registration["server"], self._registration["service"], token
         )
 
     def deliver(self, request: HttpRequest) -> HttpResponse:

@@ -116,3 +116,51 @@ def test_pending_events_counts_uncancelled():
     assert clock.pending_events() == 2
     e1.cancel()
     assert clock.pending_events() == 1
+
+
+def test_interleaved_schedule_and_advance_preserves_order():
+    """Scheduling between advances must not reorder earlier-due events —
+    the property the resilience layer's backoff timers rely on."""
+    clock = SimClock()
+    order = []
+    clock.call_later(10, lambda: order.append("late"))
+    clock.advance(3)
+    # due before "late" although registered after it
+    clock.call_at(5, lambda: order.append("early"))
+    clock.call_at(5, lambda: order.append("early2"))
+    clock.advance(4)
+    assert order == ["early", "early2"]
+    clock.advance(10)
+    assert order == ["early", "early2", "late"]
+
+
+def test_same_instant_callback_fires_during_advance():
+    clock = SimClock(start=2.0)
+    fired = []
+    clock.call_at(2.0, lambda: fired.append(clock.now()))
+    assert fired == []  # scheduling alone never runs callbacks
+    clock.advance(0)
+    assert fired == [2.0]
+
+
+def test_event_schedule_is_deterministic():
+    """Two identically-driven clocks produce identical firing traces —
+    the bit-for-bit reproducibility contract every bench leans on."""
+
+    def drive():
+        clock = SimClock(start=7.0)
+        trace = []
+
+        def tick(label, period, remaining):
+            trace.append((label, clock.now()))
+            if remaining > 0:
+                clock.call_later(period, lambda: tick(label, period, remaining - 1))
+
+        clock.call_later(0.3, lambda: tick("a", 1.0, 3))
+        clock.call_later(0.7, lambda: tick("b", 0.5, 5))
+        clock.advance(2.0)
+        clock.run_until(11.0)
+        clock.run_all()
+        return trace, clock.now()
+
+    assert drive() == drive()

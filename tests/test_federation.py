@@ -350,7 +350,7 @@ def test_last_resort_login_without_otp_fails(last_resort):
         make_url("idp-lastresort", "/login"),
         {"username": "vendor1", "password": "a-long-password!"},
     )
-    assert resp.status == 403 and resp.body["error_type"] == "MFAFailed"
+    assert resp.status == 403 and resp.body["error_type"] == "MFARequired"
 
 
 def test_last_resort_wrong_otp_fails(last_resort):

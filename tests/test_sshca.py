@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.audit import AuditLog
+from repro.audit import AuditLog, Outcome
 from repro.broker import RbacTokenValidator, Role, TokenService
 from repro.clock import SimClock
 from repro.crypto import JwkSet
@@ -358,10 +358,29 @@ def test_all_bastions_down_unavailable(ssh_net, ca_key, clock):
     kp = SshKeyPair.generate()
     wire = make_cert(ca_key, kp, clock)
     for vm in bastion.vms:
-        bastion.drain(vm.vm_id)
+        bastion.drain(vm.vm_id, force=True)
     resp = ssh_connect(agent, kp, wire)
     assert resp.status == 403
     assert resp.body["error_type"] == "ServiceUnavailable"
+
+
+def test_drain_refuses_last_up_vm(ssh_net, ca_key, clock):
+    from repro.errors import ConfigurationError
+
+    network, agent, bastion, sshd, _ = ssh_net
+    kp = SshKeyPair.generate()
+    wire = make_cert(ca_key, kp, clock)
+    bastion.drain("bastion-vm0")
+    with pytest.raises(ConfigurationError):
+        bastion.drain("bastion-vm1")
+    # the refusal kept the service alive, and it was audited
+    assert ssh_connect(agent, kp, wire).ok
+    denies = [e for e in bastion.audit.events()
+              if e.action == "bastion.drain" and e.outcome == Outcome.DENIED]
+    assert denies and denies[-1].attrs["reason"] == "last-up-vm"
+    # force drops the last one deliberately
+    bastion.drain("bastion-vm1", force=True)
+    assert bastion.up_vms() == []
 
 
 def test_load_balancing_round_robin(ssh_net, ca_key, clock):
