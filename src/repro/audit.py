@@ -22,14 +22,22 @@ __all__ = ["AuditEvent", "AuditLog", "CombinedAuditView", "Outcome"]
 
 
 class Outcome:
-    """String constants for the ``outcome`` field of an event."""
+    """String constants for the ``outcome`` field of an event.
+
+    ``SHED`` and ``EXPIRED`` are overload outcomes, deliberately distinct
+    from ``DENIED``: a shed request was *not* refused by policy — the
+    service was protecting itself — and incident timelines must not
+    conflate the two.
+    """
 
     SUCCESS = "success"
     DENIED = "denied"
     ERROR = "error"
     INFO = "info"
+    SHED = "shed"          # dropped by admission control / load shedding
+    EXPIRED = "expired"    # deadline passed before the work could be served
 
-    ALL = (SUCCESS, DENIED, ERROR, INFO)
+    ALL = (SUCCESS, DENIED, ERROR, INFO, SHED, EXPIRED)
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 from repro.audit import AuditLog, Outcome
 from repro.clock import SimClock
 from repro.cluster.nodes import NodePool
-from repro.errors import QuotaExceeded, SchedulerError
+from repro.errors import QuotaExceeded, RateLimited, SchedulerError
 from repro.ids import IdFactory
 
 __all__ = ["JobState", "Job", "SlurmScheduler"]
@@ -62,6 +62,12 @@ class SlurmScheduler:
         Callable ``(project_id, gpu_hours) -> None`` that raises
         :class:`~repro.errors.QuotaExceeded` when the allocation cannot
         cover the job — wired to the portal's ``record_usage``.
+    max_pending:
+        Bound on the pending queue.  A real scheduler with an unbounded
+        queue is an overload amplifier (submissions during an incident
+        pile up and replay); overflow raises
+        :class:`~repro.errors.RateLimited` whose ``retry_after`` points
+        at the earliest running-job completion.
     """
 
     def __init__(
@@ -74,6 +80,7 @@ class SlurmScheduler:
         audit: Optional[AuditLog] = None,
         max_walltime: float = 24 * 3600.0,
         charge_units_per_node: int = 4,
+        max_pending: int = 512,
     ) -> None:
         self.clock = clock
         self.ids = ids
@@ -84,6 +91,10 @@ class SlurmScheduler:
         # allocation units consumed per node-hour: GPUs on Isambard-AI
         # (Grace-Hopper), plain node-hours on Isambard 3 (Grace-Grace)
         self.charge_units_per_node = charge_units_per_node
+        if max_pending < 1:
+            raise SchedulerError("max_pending must be at least 1")
+        self.max_pending = max_pending
+        self.submissions_shed = 0
         self._jobs: Dict[str, Job] = {}
         self._queue: List[str] = []
 
@@ -101,6 +112,19 @@ class SlurmScheduler:
         if nodes > len(self.pool.nodes()):
             raise SchedulerError(
                 f"requested {nodes} nodes; cluster has {len(self.pool.nodes())}"
+            )
+        if self.queue_length() >= self.max_pending:
+            self.submissions_shed += 1
+            retry_after = self._earliest_completion()
+            self.audit.record(
+                self.clock.now(), "slurm", account, "job.submit", "queue-full",
+                Outcome.SHED, project=project_id,
+                pending=self.queue_length(), max_pending=self.max_pending,
+                retry_after=retry_after,
+            )
+            raise RateLimited(
+                f"pending queue full ({self.queue_length()}/{self.max_pending})",
+                retry_after=retry_after, service="slurm",
             )
         job = Job(
             job_id=self.ids.next("job"),
@@ -120,6 +144,21 @@ class SlurmScheduler:
         )
         self._schedule()
         return job
+
+    def _earliest_completion(self) -> float:
+        """Seconds until the soonest running job frees its nodes — the
+        most honest retry hint a full queue can give.  With nothing
+        running the queue will drain as soon as the pool frees up, so
+        suggest a token backoff instead."""
+        now = self.clock.now()
+        finishes = [
+            j.started_at + j.walltime - now
+            for j in self._jobs.values()
+            if j.state == JobState.RUNNING and j.started_at is not None
+        ]
+        if not finishes:
+            return 1.0
+        return max(min(finishes), 0.0)
 
     def _schedule(self) -> None:
         """Start queued jobs while nodes are free (FIFO, no skip)."""

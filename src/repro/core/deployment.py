@@ -49,7 +49,13 @@ from repro.net import Firewall, Network, OperatingDomain, Service, Zone
 from repro.oidc import make_url
 from repro.policy import PolicyEngine, standard_zero_trust_rules
 from repro.portal import UserPortal
-from repro.resilience import FaultInjector, ResilienceRuntime, RetryPolicy
+from repro.resilience import (
+    AdmissionController,
+    FaultInjector,
+    OverloadConfig,
+    ResilienceRuntime,
+    RetryPolicy,
+)
 from repro.siem import (
     KillSwitchController,
     LogForwarder,
@@ -126,6 +132,8 @@ class IsambardDeployment:
     faults: Optional[FaultInjector] = None
     # retry/breaker runtime; None when the deployment was built fail-fast
     resilience: Optional[ResilienceRuntime] = None
+    # overload-protection sizing; None when admission control is off
+    overload: Optional[OverloadConfig] = None
 
     # ------------------------------------------------------------------
     def validator_for(self, audience: str) -> RbacTokenValidator:
@@ -216,6 +224,7 @@ def build_isambard(
     auto_contain: bool = True,
     idp_specs=DEFAULT_IDPS,
     resilience: Union[bool, RetryPolicy] = False,
+    overload: Union[bool, OverloadConfig] = False,
     staleness_window: float = 60.0,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
@@ -235,6 +244,14 @@ def build_isambard(
     arming it never perturbs the identity/secret streams.
     ``staleness_window`` bounds Jupyter's degraded-mode acceptance of
     cached introspection verdicts while the broker is unreachable.
+
+    ``overload`` turns on the overload-protection layer (PR 2): token-
+    bucket admission controllers with priority shedding on the broker,
+    Jupyter, the SSH CA and the edge, plus AIMD pacing on every client
+    kit.  Pass an :class:`~repro.resilience.OverloadConfig` to resize
+    it.  Enabling overload implies a resilience runtime (the clients
+    must honour ``retry_after`` for admission control to work as a
+    backpressure signal rather than a hard failure).
     """
     clock = SimClock(start=0.0)
     ids = IdFactory(seed=seed)
@@ -244,12 +261,18 @@ def build_isambard(
     }
     audit = CombinedAuditView(logs)
 
+    overload_cfg: Optional[OverloadConfig] = None
+    if overload:
+        overload_cfg = (overload if isinstance(overload, OverloadConfig)
+                        else OverloadConfig())
+
     faults = FaultInjector(clock, random.Random(seed * 7919 + 13))
     runtime: Optional[ResilienceRuntime] = None
-    if resilience:
+    if resilience or overload_cfg is not None:
         runtime = ResilienceRuntime(
             clock, random.Random(seed * 104729 + 7),
             policy=resilience if isinstance(resilience, RetryPolicy) else None,
+            overload=overload_cfg,
         )
 
     firewall = Firewall(segmented=segmented)
@@ -544,6 +567,17 @@ def build_isambard(
                     shipper, bastion, tailnet, soc):
             svc.resilience = runtime.for_client(svc.name)
 
+    # --- overload protection: admission controllers on the hot services --
+    if overload_cfg is not None:
+        broker.admission = AdmissionController(
+            "broker", clock, overload_cfg.broker)
+        jupyter.admission = AdmissionController(
+            "jupyter", clock, overload_cfg.jupyter)
+        ssh_ca.admission = AdmissionController(
+            "ssh-ca", clock, overload_cfg.ssh_ca)
+        edge.admission = AdmissionController(
+            "edge", clock, overload_cfg.edge)
+
     # --- the revocation fan-out the portal hook calls --------------------
     def _revoke_everywhere(uid: str, project: str, account: str) -> None:
         broker.revoke_user_access(uid, project)
@@ -569,7 +603,7 @@ def build_isambard(
         pool_i3=pool_i3, login_sshd_i3=login_sshd_i3,
         mgmt_node_i3=mgmt_node_i3, slurm_i3=slurm_i3,
         dcim=dcim, spire=spire,
-        faults=faults, resilience=runtime,
+        faults=faults, resilience=runtime, overload=overload_cfg,
     )
     dri.refresh_tunnels()
 

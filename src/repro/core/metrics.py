@@ -18,9 +18,14 @@ __all__ = ["latency_stats", "format_table", "Timer"]
 
 
 def latency_stats(samples: Sequence[float]) -> Dict[str, float]:
-    """min/p50/p95/max/mean over a latency sample set (seconds)."""
+    """min/p50/p95/p99/max/mean over a latency sample set (seconds).
+
+    The tail percentiles are what the overload studies live on: a
+    surge that keeps the median flat while p99 runs away is exactly
+    the failure mode admission control is meant to prevent.
+    """
     if not samples:
-        return {"n": 0, "min": 0.0, "p50": 0.0, "p95": 0.0,
+        return {"n": 0, "min": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
                 "max": 0.0, "mean": 0.0}
     arr = np.asarray(samples, dtype=float)
     return {
@@ -28,6 +33,7 @@ def latency_stats(samples: Sequence[float]) -> Dict[str, float]:
         "min": float(arr.min()),
         "p50": float(np.percentile(arr, 50)),
         "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
         "max": float(arr.max()),
         "mean": float(arr.mean()),
     }

@@ -34,6 +34,7 @@ __all__ = [
     "FaultInjected",
     "CircuitOpen",
     "RateLimited",
+    "DeadlineExceeded",
     "CertificateError",
     "PolicyViolation",
     "KillSwitchActive",
@@ -152,7 +153,44 @@ class CircuitOpen(ServiceUnavailable):
 
 
 class RateLimited(NetworkError):
-    """The edge (Cloudflare-like) throttled or blocked the request."""
+    """An admission controller or the edge throttled this request.
+
+    ``retry_after`` is the server-supplied hint, in seconds, after which
+    a retry has a chance of being admitted; retry machinery honours it
+    instead of its own exponential backoff.  ``service`` names the
+    component that shed the request and ``priority`` its traffic class,
+    so the network audit trail can record *what* was shed where.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: "float | None" = None,
+        service: str = "",
+        priority: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.service = service
+        self.priority = priority
+
+
+class DeadlineExceeded(NetworkError):
+    """The request's deadline passed before (or while) it could be served.
+
+    Raised by the transport for already-expired queued work so the
+    destination never burns capacity on a request whose caller has given
+    up.  Deliberately *not* a :class:`ServiceUnavailable`: retrying an
+    expired request is pointless, so the retry layer must let it
+    propagate immediately.
+    """
+
+    def __init__(self, message: str, *, deadline: "float | None" = None,
+                 priority: str = "") -> None:
+        super().__init__(message)
+        self.deadline = deadline
+        self.priority = priority
 
 
 # ---------------------------------------------------------------------------

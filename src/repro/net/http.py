@@ -10,9 +10,10 @@ and encryption policy apply uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, RateLimited, ReproError
+from repro.resilience.overload import Priority
 
 __all__ = ["HttpRequest", "HttpResponse", "Service", "route"]
 
@@ -20,7 +21,14 @@ __all__ = ["HttpRequest", "HttpResponse", "Service", "route"]
 @dataclass
 class HttpRequest:
     """A structured request.  ``body`` and ``query`` are plain dicts —
-    serialization fidelity is not what this simulation studies."""
+    serialization fidelity is not what this simulation studies.
+
+    ``priority`` tags the traffic class for overload protection (see
+    :class:`repro.resilience.overload.Priority`) and ``deadline`` is the
+    absolute simulated time after which the caller no longer wants the
+    answer; both propagate automatically onto downstream calls a service
+    makes while handling this request.
+    """
 
     method: str
     path: str
@@ -28,6 +36,8 @@ class HttpRequest:
     query: Dict[str, str] = field(default_factory=dict)
     body: Dict[str, object] = field(default_factory=dict)
     source: str = ""  # endpoint name of the caller, filled in by the network
+    priority: str = Priority.INTERACTIVE
+    deadline: Optional[float] = None
 
     def bearer_token(self) -> Optional[str]:
         """Extract a ``Authorization: Bearer ...`` token if present."""
@@ -88,6 +98,14 @@ class Service:
         self.endpoint = None
         # optional repro.resilience.Resilience kit wrapping outbound calls
         self.resilience = None
+        # optional repro.resilience.overload.AdmissionController guarding
+        # inbound dispatch (token bucket + bulkhead + priority shedding)
+        self.admission = None
+        # requests currently being served (a stack: nested dispatch via
+        # the edge or re-entrant calls) — outbound calls inherit the top
+        # request's deadline and priority, which is what makes deadline
+        # propagation work without touching every call site
+        self._serving: List[HttpRequest] = []
         self._routes: Dict[Tuple[str, str], Callable[[HttpRequest], HttpResponse]] = {}
         for attr in dir(type(self)):
             fn = getattr(type(self), attr)
@@ -103,16 +121,48 @@ class Service:
         (the error message travels in the body — these are simulated
         services, leaking reasons aids the benchmarks' legibility).
         Unexpected exceptions propagate: they are bugs, not denials.
+
+        Overload signals are different: an attached admission controller
+        may shed the request (:class:`RateLimited`), and both that and
+        :class:`DeadlineExceeded` re-raise to the transport instead of
+        becoming 403s — the network audits them distinctly and the
+        caller's retry machinery must see the real exception (with its
+        ``retry_after`` hint), not a denial response.
         """
         handler = self._routes.get((request.method.upper(), request.path))
         if handler is None:
             return HttpResponse.error(404, f"no route {request.method} {request.path}")
+        admitted = self._admit(request)
+        self._serving.append(request)
         try:
             return handler(request)
+        except (RateLimited, DeadlineExceeded):
+            raise
         except ReproError as exc:
             return HttpResponse.error(
                 403, str(exc), error_type=type(exc).__name__
             )
+        finally:
+            self._serving.pop()
+            if admitted:
+                self.admission.release()
+
+    def _admit(self, request: HttpRequest) -> bool:
+        """Consult the admission controller (if any) before dispatch.
+
+        Also rejects already-expired work here: the tunnel-forwarded
+        path (edge → origin) dispatches directly without a network hop,
+        so a guarded service re-checks the deadline itself.
+        """
+        if self.admission is None:
+            return False
+        if (request.deadline is not None
+                and self.admission.clock.now() > request.deadline):
+            raise DeadlineExceeded(
+                f"{self.name}: deadline passed before dispatch",
+                deadline=request.deadline, priority=request.priority,
+            )
+        return self.admission.admit(request.path, request.priority)
 
     # ------------------------------------------------------------------
     def call(
@@ -130,9 +180,24 @@ class Service:
         retried with backoff and circuit-broken per destination; the
         network fails faulted messages before delivery, so these retries
         never replay a partially applied request.
+
+        Deadline and priority propagate: while this service is handling
+        a request, outbound calls inherit that request's deadline (the
+        tighter of the two if both are set) and its priority when the
+        outbound request carries only the default tag.  A broker hop
+        made on behalf of an expiring login therefore expires with it.
         """
         if self.network is None or self.endpoint is None:
             raise RuntimeError(f"service {self.name} is not attached to a network")
+        if self._serving:
+            inbound = self._serving[-1]
+            if request.deadline is None:
+                request.deadline = inbound.deadline
+            elif inbound.deadline is not None:
+                request.deadline = min(request.deadline, inbound.deadline)
+            if (request.priority == Priority.INTERACTIVE
+                    and inbound.priority != Priority.INTERACTIVE):
+                request.priority = inbound.priority
         if self.resilience is not None:
             return self.resilience.call(
                 lambda: self.network.request(

@@ -31,7 +31,9 @@ from repro.clock import SimClock
 from repro.errors import (
     ConfigurationError,
     ConnectionBlocked,
+    DeadlineExceeded,
     EncryptionRequired,
+    RateLimited,
     ServiceUnavailable,
 )
 from repro.net.firewall import Firewall
@@ -89,6 +91,8 @@ class Network:
         self.messages_delivered = 0
         self.messages_blocked = 0
         self.messages_faulted = 0
+        self.messages_expired = 0
+        self.messages_shed = 0
 
     # ------------------------------------------------------------------
     # topology
@@ -194,6 +198,23 @@ class Network:
             )
             raise ServiceUnavailable(f"endpoint {dst} is down")
 
+        # overload protection: queued work whose deadline already passed
+        # is shed here, before the destination burns any capacity on it
+        if request.deadline is not None and self.clock.now() > request.deadline:
+            self.messages_expired += 1
+            self.audit.record(
+                self.clock.now(), "network", src, "deadline.expired", dst,
+                Outcome.EXPIRED, domain=str(d.domain), zone=str(d.zone),
+                path=request.path, priority=request.priority,
+                deadline=request.deadline,
+                overrun=round(self.clock.now() - request.deadline, 6),
+            )
+            raise DeadlineExceeded(
+                f"{src} -> {dst} {request.path}: deadline "
+                f"t={request.deadline:.3f} passed before delivery",
+                deadline=request.deadline, priority=request.priority,
+            )
+
         extra_latency = 0.0
         if self.faults is not None:
             try:
@@ -218,4 +239,29 @@ class Network:
             port=port, path=request.path, encrypted=encrypted,
             rule=decision.rule,
         )
-        return d.service.handle(request)
+        try:
+            return d.service.handle(request)
+        except RateLimited as exc:
+            # shed by admission control somewhere downstream of this hop
+            # (the destination itself, or a service it fanned out to);
+            # audited as SHED — deliberately not DENIED — with the class
+            # of traffic that was dropped and the server's retry hint
+            self.messages_shed += 1
+            self.audit.record(
+                self.clock.now(), "network", src, "admission.shed", dst,
+                Outcome.SHED, domain=str(d.domain), zone=str(d.zone),
+                path=request.path, priority=exc.priority or request.priority,
+                service=exc.service or dst, retry_after=exc.retry_after,
+            )
+            raise
+        except DeadlineExceeded as exc:
+            # expired while being served (or at a nested hop): the
+            # transport observed it, so the trail records it here too
+            self.messages_expired += 1
+            self.audit.record(
+                self.clock.now(), "network", src, "deadline.expired", dst,
+                Outcome.EXPIRED, domain=str(d.domain), zone=str(d.zone),
+                path=request.path, priority=exc.priority or request.priority,
+                deadline=exc.deadline,
+            )
+            raise

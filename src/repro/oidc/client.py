@@ -25,6 +25,7 @@ from repro.errors import (
 )
 from repro.net.http import HttpRequest, HttpResponse, Service
 from repro.oidc.messages import ClientConfig, make_url, parse_url, pkce_challenge
+from repro.resilience.overload import Priority
 
 __all__ = ["UserAgent", "RelyingParty", "FlowState"]
 
@@ -38,11 +39,18 @@ class UserAgent(Service):
     providers cannot see each other's sessions.
     """
 
-    def __init__(self, name: str, *, max_hops: int = 15) -> None:
+    def __init__(self, name: str, *, max_hops: int = 15,
+                 priority: str = Priority.INTERACTIVE) -> None:
         super().__init__(name)
         self.cookies: Dict[str, Dict[str, str]] = {}
         self.max_hops = max_hops
         self.history: list[str] = []
+        # traffic class this agent's requests carry by default (a human at
+        # a browser is interactive; automation agents set batch)
+        self.priority = priority
+        # optional default absolute deadline applied to every request this
+        # agent sends (surge drivers set it to "arrival + patience")
+        self.deadline: Optional[float] = None
 
     # ------------------------------------------------------------------
     def _headers_for(self, endpoint: str) -> Dict[str, str]:
@@ -64,11 +72,16 @@ class UserAgent(Service):
         method: str = "GET",
         body: Optional[Dict[str, object]] = None,
         headers: Optional[Dict[str, str]] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[HttpResponse, str]:
         """Issue a request and follow redirects; returns (response, final_url).
 
         Only the first hop carries ``body`` (redirects become GETs, as
-        browsers do for 302).
+        browsers do for 302).  ``priority`` defaults to the agent's own
+        traffic class; ``deadline`` (absolute simulated time) rides on
+        every hop of the flow, so a multi-redirect login expires as a
+        whole rather than per hop.
         """
         current, current_method, current_body = url, method, body
         for _hop in range(self.max_hops):
@@ -81,6 +94,8 @@ class UserAgent(Service):
                 headers=req_headers,
                 query=params,
                 body=dict(current_body or {}),
+                priority=priority if priority is not None else self.priority,
+                deadline=deadline if deadline is not None else self.deadline,
             )
             response = self.call(endpoint, request)
             self.history.append(f"{current_method} {current}")

@@ -18,6 +18,13 @@ degradation seams in ``cluster.jupyter``, ``oidc.client``,
 
 from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.resilience.faults import Fault, FaultInjector
+from repro.resilience.overload import (
+    AdmissionController,
+    AdmissionPolicy,
+    AimdLimiter,
+    OverloadConfig,
+    Priority,
+)
 from repro.resilience.retry import (
     Resilience,
     ResilienceMetrics,
@@ -33,6 +40,11 @@ __all__ = [
     "HALF_OPEN",
     "Fault",
     "FaultInjector",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AimdLimiter",
+    "OverloadConfig",
+    "Priority",
     "Resilience",
     "ResilienceMetrics",
     "ResilienceRuntime",

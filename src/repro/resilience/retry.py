@@ -22,8 +22,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple, Type
 
 from repro.clock import SimClock
-from repro.errors import CircuitOpen, ServiceUnavailable
+from repro.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    RateLimited,
+    ServiceUnavailable,
+)
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.overload import AimdLimiter, OverloadConfig
 
 __all__ = [
     "RetryPolicy",
@@ -54,7 +60,13 @@ class RetryPolicy:
         a retry that would overrun it is abandoned and the last error
         re-raised.
     retry_on:
-        Exception classes treated as transient.
+        Exception classes treated as transient.  :class:`RateLimited`
+        is retryable by default but handled specially: when the server
+        supplied a ``retry_after`` hint, the client waits exactly that
+        long — no jitter, and the wait does not advance the exponential
+        backoff schedule (being shed is not evidence the next backoff
+        step should double).  :class:`DeadlineExceeded` is never
+        retried even if listed here — expired work cannot succeed.
     """
 
     max_attempts: int = 4
@@ -63,7 +75,7 @@ class RetryPolicy:
     max_delay: float = 2.0
     jitter: float = 0.5
     deadline: Optional[float] = None
-    retry_on: Tuple[Type[BaseException], ...] = (ServiceUnavailable,)
+    retry_on: Tuple[Type[BaseException], ...] = (ServiceUnavailable, RateLimited)
 
     def backoff(self, attempt: int, rng) -> float:
         """Wait before attempt ``attempt + 1`` (``attempt`` is 1-based)."""
@@ -84,6 +96,9 @@ class ResilienceMetrics:
     successes: int = 0
     failures: int = 0              # calls that exhausted their budget
     short_circuits: int = 0        # calls refused by an open breaker
+    rate_limited: int = 0          # attempts shed by admission control
+    honoured_retry_afters: int = 0  # waits taken from a server hint
+    expired: int = 0               # calls abandoned on DeadlineExceeded
     by_destination: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> Dict[str, object]:
@@ -91,6 +106,9 @@ class ResilienceMetrics:
             "calls": self.calls, "attempts": self.attempts,
             "retries": self.retries, "successes": self.successes,
             "failures": self.failures, "short_circuits": self.short_circuits,
+            "rate_limited": self.rate_limited,
+            "honoured_retry_afters": self.honoured_retry_afters,
+            "expired": self.expired,
         }
 
 
@@ -102,6 +120,7 @@ def call_with_resilience(
     rng,
     breaker: Optional[CircuitBreaker] = None,
     metrics: Optional[ResilienceMetrics] = None,
+    limiter: Optional[AimdLimiter] = None,
     label: str = "",
 ):
     """Run ``fn`` under ``policy``, consulting ``breaker`` before each try.
@@ -110,30 +129,67 @@ def call_with_resilience(
     shedding; otherwise re-raises the last transient error once the
     attempt/deadline budget is spent.  Non-transient exceptions propagate
     immediately.
+
+    Overload signals get distinct treatment:
+
+    * being shed (:class:`RateLimited`) is the *server protecting
+      itself*, not a server fault — it never counts against the circuit
+      breaker, and a supplied ``retry_after`` is honoured verbatim in
+      place of the exponential backoff (which does not advance);
+    * :class:`DeadlineExceeded` is terminal — the answer is already
+      worthless, so no retry regardless of budget;
+    * an attached :class:`AimdLimiter` paces each attempt (its wait
+      advances the clock like any backoff) and is fed every outcome so
+      the client's send rate converges on what the server admits.
     """
     if metrics is not None:
         metrics.calls += 1
     start = clock.now()
     attempt = 0
+    backoff_step = 0  # position in the exponential schedule
     while True:
         if breaker is not None and not breaker.allow():
             if metrics is not None:
                 metrics.short_circuits += 1
             raise CircuitOpen(
                 f"circuit open for {label or 'destination'}; shedding load")
+        if limiter is not None:
+            pace = limiter.reserve(clock.now())
+            if pace > 0:
+                clock.advance(pace)
         attempt += 1
         if metrics is not None:
             metrics.attempts += 1
         try:
             result = fn()
-        except policy.retry_on:
-            if breaker is not None:
+        except DeadlineExceeded:
+            if limiter is not None:
+                limiter.on_overload()
+            if metrics is not None:
+                metrics.expired += 1
+                metrics.failures += 1
+            raise
+        except policy.retry_on as exc:
+            shed = isinstance(exc, RateLimited)
+            retry_after = exc.retry_after if shed else None
+            if shed:
+                if metrics is not None:
+                    metrics.rate_limited += 1
+                if limiter is not None:
+                    limiter.on_overload(retry_after)
+            elif breaker is not None:
                 breaker.record_failure()
             if attempt >= policy.max_attempts:
                 if metrics is not None:
                     metrics.failures += 1
                 raise
-            delay = policy.backoff(attempt, rng)
+            if retry_after is not None:
+                # honoured server hint: exact wait, no jitter, and the
+                # exponential schedule stays where it was
+                delay = retry_after
+            else:
+                backoff_step += 1
+                delay = policy.backoff(backoff_step, rng)
             if policy.deadline is not None and \
                     clock.now() - start + delay > policy.deadline:
                 if metrics is not None:
@@ -141,10 +197,23 @@ def call_with_resilience(
                 raise
             if metrics is not None:
                 metrics.retries += 1
+                if retry_after is not None:
+                    metrics.honoured_retry_afters += 1
             clock.advance(delay)
+        except RateLimited as exc:
+            # shed, but this policy does not retry shedding: still tell
+            # the pacer before propagating
+            if limiter is not None:
+                limiter.on_overload(exc.retry_after)
+            if metrics is not None:
+                metrics.rate_limited += 1
+                metrics.failures += 1
+            raise
         else:
             if breaker is not None:
                 breaker.record_success()
+            if limiter is not None:
+                limiter.on_success()
             if metrics is not None:
                 metrics.successes += 1
             return result
@@ -165,6 +234,7 @@ class Resilience:
         *,
         policy: Optional[RetryPolicy] = None,
         breaker_factory: Optional[Callable[[str], CircuitBreaker]] = None,
+        limiter_factory: Optional[Callable[[str], AimdLimiter]] = None,
         metrics: Optional[ResilienceMetrics] = None,
     ) -> None:
         self.name = name
@@ -174,6 +244,8 @@ class Resilience:
         self.metrics = metrics if metrics is not None else ResilienceMetrics()
         self._breaker_factory = breaker_factory
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._limiter_factory = limiter_factory
+        self._limiters: Dict[str, AimdLimiter] = {}
 
     def breaker_for(self, dst: str) -> Optional[CircuitBreaker]:
         if self._breaker_factory is None:
@@ -187,12 +259,26 @@ class Resilience:
     def breakers(self) -> Dict[str, CircuitBreaker]:
         return dict(self._breakers)
 
+    def limiter_for(self, dst: str) -> Optional[AimdLimiter]:
+        """The AIMD pacer for one destination (None when pacing is off)."""
+        if self._limiter_factory is None:
+            return None
+        limiter = self._limiters.get(dst)
+        if limiter is None:
+            limiter = self._limiter_factory(f"{self.name}->{dst}")
+            self._limiters[dst] = limiter
+        return limiter
+
+    def limiters(self) -> Dict[str, AimdLimiter]:
+        return dict(self._limiters)
+
     def call(self, fn: Callable[[], object], dst: str = ""):
         self.metrics.by_destination[dst] = \
             self.metrics.by_destination.get(dst, 0) + 1
         return call_with_resilience(
             fn, clock=self.clock, policy=self.policy, rng=self.rng,
             breaker=self.breaker_for(dst), metrics=self.metrics,
+            limiter=self.limiter_for(dst),
             label=f"{self.name}->{dst}",
         )
 
@@ -216,6 +302,7 @@ class ResilienceRuntime:
         failure_threshold: int = 8,
         recovery_time: float = 5.0,
         half_open_probes: int = 1,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         self.clock = clock
         self.rng = rng
@@ -223,7 +310,23 @@ class ResilienceRuntime:
         self.failure_threshold = failure_threshold
         self.recovery_time = recovery_time
         self.half_open_probes = half_open_probes
+        # with an OverloadConfig, every kit paces its destinations with
+        # an AIMD limiter sized from the config
+        self.overload = overload
         self._clients: Dict[str, Resilience] = {}
+
+    def _limiter_factory(self) -> Optional[Callable[[str], AimdLimiter]]:
+        cfg = self.overload
+        if cfg is None:
+            return None
+        return lambda label: AimdLimiter(
+            label,
+            initial_rate=cfg.aimd_initial_rate,
+            min_rate=cfg.aimd_min_rate,
+            max_rate=cfg.aimd_max_rate,
+            additive=cfg.aimd_additive,
+            beta=cfg.aimd_beta,
+        )
 
     def for_client(self, name: str) -> Resilience:
         """The (cached) resilience kit for one named client."""
@@ -237,9 +340,14 @@ class ResilienceRuntime:
                     recovery_time=self.recovery_time,
                     half_open_probes=self.half_open_probes,
                 ),
+                limiter_factory=self._limiter_factory(),
             )
             self._clients[name] = kit
         return kit
+
+    def limiter_for(self, client: str, dst: str) -> Optional[AimdLimiter]:
+        """The AIMD pacer of one (client, destination) pair."""
+        return self.for_client(client).limiter_for(dst)
 
     def clients(self) -> Dict[str, Resilience]:
         return dict(self._clients)
@@ -249,6 +357,9 @@ class ResilienceRuntime:
         total = ResilienceMetrics()
         opens = 0
         time_open = 0.0
+        aimd_waits = 0
+        aimd_wait_time = 0.0
+        aimd_backoffs = 0
         for kit in self._clients.values():
             m = kit.metrics
             total.calls += m.calls
@@ -257,10 +368,20 @@ class ResilienceRuntime:
             total.successes += m.successes
             total.failures += m.failures
             total.short_circuits += m.short_circuits
+            total.rate_limited += m.rate_limited
+            total.honoured_retry_afters += m.honoured_retry_afters
+            total.expired += m.expired
             for b in kit.breakers().values():
                 opens += b.opens
                 time_open += b.time_in_open()
+            for lim in kit.limiters().values():
+                aimd_waits += lim.waits
+                aimd_wait_time += lim.wait_time
+                aimd_backoffs += lim.backoffs
         out = total.snapshot()
         out["breaker_opens"] = opens
         out["breaker_time_in_open"] = round(time_open, 6)
+        out["aimd_waits"] = aimd_waits
+        out["aimd_wait_time"] = round(aimd_wait_time, 6)
+        out["aimd_backoffs"] = aimd_backoffs
         return out

@@ -46,6 +46,11 @@ class IncidentTimeline:
     def denials(self) -> List[TimelineEntry]:
         return [e for e in self.entries if e.outcome == "denied"]
 
+    def shed(self) -> List[TimelineEntry]:
+        """Overload drops — NOT policy denials; an analyst reading the
+        timeline must not mistake load shedding for access refusals."""
+        return [e for e in self.entries if e.outcome in ("shed", "expired")]
+
     def containment(self) -> Optional[TimelineEntry]:
         for e in self.entries:
             if e.action.startswith("killswitch.") or e.action.endswith(".flag"):
@@ -56,12 +61,15 @@ class IncidentTimeline:
         lines = [
             f"INCIDENT TIMELINE for {self.subject}",
             f"correlated identifiers: {sorted(self.correlated_ids)}",
-            f"{len(self.entries)} events, {len(self.denials())} denials",
+            f"{len(self.entries)} events, {len(self.denials())} denials, "
+            f"{len(self.shed())} shed/expired",
             "",
         ]
         for e in self.entries:
+            # shed (~) and expired (x) get their own marks so overload
+            # drops never read as denials (!) in the narrative
             mark = {"denied": "!", "error": "E", "success": " ",
-                    "info": " "}.get(e.outcome, "?")
+                    "info": " ", "shed": "~", "expired": "x"}.get(e.outcome, "?")
             lines.append(
                 f"  t={e.time:10.3f} [{mark}] {e.domain or '-':<8} "
                 f"{e.source:<14} {e.action:<26} {e.detail}"

@@ -26,6 +26,7 @@ from repro.audit import AuditLog, Outcome
 from repro.clock import SimClock
 from repro.errors import RateLimited, ServiceUnavailable
 from repro.net.http import HttpRequest, HttpResponse, Service
+from repro.resilience.overload import Priority
 
 __all__ = ["CloudflareEdge"]
 
@@ -95,44 +96,78 @@ class CloudflareEdge(Service):
             self.block_source(source)
         return False
 
-    def enforce(self, source: str, path: str, now: float) -> None:
+    def _retry_after(self, source: str, now: float) -> float:
+        """When the oldest in-window hit will age out (the earliest a
+        retry can possibly be admitted); blocked sources get the full
+        window — there is nothing useful to retry sooner."""
+        hits = self._hits.get(source)
+        if source in self.blocked_sources or not hits:
+            return self.window
+        return max(hits[0] + self.window - now, 0.0)
+
+    def enforce(self, source: str, path: str, now: float,
+                *, priority: str = Priority.INTERACTIVE) -> None:
         """Apply threat-intel blocks and the rate limiter; raises
-        :class:`RateLimited` when the source must be refused."""
-        if source in self.blocked_sources or not self._rate_ok(source, now):
+        :class:`RateLimited` (always carrying ``retry_after``) when the
+        source must be refused.  Admin/security traffic is exempt from
+        the rate limiter — revocation must land during a surge — but
+        never from the threat-intel block list.
+        """
+        blocked = source in self.blocked_sources
+        rate_exempt = priority == Priority.ADMIN and not blocked
+        if not rate_exempt and (blocked or not self._rate_ok(source, now)):
             self.requests_blocked += 1
             self.log_event(source, "edge.deny", path, Outcome.DENIED,
-                blocked=source in self.blocked_sources,
+                blocked=blocked,
             )
-            raise RateLimited("request blocked by the zero-trust edge")
+            raise RateLimited(
+                "request blocked by the zero-trust edge",
+                retry_after=self._retry_after(source, now),
+                service=self.name, priority=priority,
+            )
 
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Edge processing happens before any routing."""
         now = self.clock.now()
         source = request.source or "unknown"
+        # overload layer (when wired): token bucket + bulkhead ahead of
+        # the per-source DDoS limiter; sheds raise to the transport
+        admitted = self._admit(request)
+        self._serving.append(request)
         try:
-            self.enforce(source, request.path, now)
-        except RateLimited as exc:
-            # edges answer 429, not the 403 the generic handler would use
-            return HttpResponse.error(
-                429, str(exc), error_type=RateLimited.__name__,
-            )
+            try:
+                self.enforce(source, request.path, now,
+                             priority=request.priority)
+            except RateLimited as exc:
+                # edges answer 429, not the 403 the generic handler would
+                # use; the hint travels in both body and header
+                return HttpResponse.error(
+                    429, str(exc), error_type=RateLimited.__name__,
+                    retry_after=exc.retry_after,
+                )
 
-        parts = request.path.lstrip("/").split("/", 1)
-        origin_name = parts[0] if parts else ""
-        origin = self._origins.get(origin_name)
-        if origin is None:
-            return HttpResponse.error(404, f"no origin {origin_name!r} behind this edge")
-        inner_path = "/" + (parts[1] if len(parts) > 1 else "")
-        inner = HttpRequest(
-            method=request.method,
-            path=inner_path,
-            headers=dict(request.headers),
-            query=dict(request.query),
-            body=dict(request.body),
-            source=request.source,
-        )
-        inner.headers["CF-Connecting-IP"] = source
-        self.requests_passed += 1
-        # delivery over the origin's reverse tunnel (client-initiated, so
-        # no inbound firewall opening is involved)
-        return origin.handle(inner)
+            parts = request.path.lstrip("/").split("/", 1)
+            origin_name = parts[0] if parts else ""
+            origin = self._origins.get(origin_name)
+            if origin is None:
+                return HttpResponse.error(404, f"no origin {origin_name!r} behind this edge")
+            inner_path = "/" + (parts[1] if len(parts) > 1 else "")
+            inner = HttpRequest(
+                method=request.method,
+                path=inner_path,
+                headers=dict(request.headers),
+                query=dict(request.query),
+                body=dict(request.body),
+                source=request.source,
+                priority=request.priority,
+                deadline=request.deadline,
+            )
+            inner.headers["CF-Connecting-IP"] = source
+            self.requests_passed += 1
+            # delivery over the origin's reverse tunnel (client-initiated,
+            # so no inbound firewall opening is involved)
+            return origin.handle(inner)
+        finally:
+            self._serving.pop()
+            if admitted:
+                self.admission.release()
