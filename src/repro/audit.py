@@ -18,6 +18,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.resilience.durability import Durable, RecoveryReport
+from repro.errors import RecoveryError
+
 __all__ = ["AuditEvent", "AuditLog", "CombinedAuditView", "Outcome"]
 
 
@@ -113,13 +116,22 @@ class AuditEvent:
         return True
 
 
-class AuditLog:
+class AuditLog(Durable):
     """Append-only event store with live subscribers.
 
     One log exists per operating domain in the deployment; the SIEM's
     forwarders subscribe and relay into the SOC.  Subscribers must not
     raise — a broken forwarder must not take down the emitting service —
     so callbacks that raise are detached and counted.
+
+    The log is :class:`~repro.resilience.durability.Durable`: when a
+    journal is attached, every emitted event (content plus its chained
+    digest) is journaled, so a crash of the log store recovers the full
+    hash chain — including heads minted before the crash — and
+    ``verify_chain`` still passes across the crash boundary.  Recovery
+    does **not** re-fan-out replayed events to subscribers: the SIEM
+    pipeline already accepted them pre-crash (its own durable buffer is
+    responsible for delivery), so replay must not duplicate records.
     """
 
     GENESIS = "0" * 64
@@ -130,18 +142,38 @@ class AuditLog:
         self._subscribers: List[Callable[[AuditEvent], None]] = []
         self.dropped_subscribers = 0
         self._head = self.GENESIS  # digest of the latest event
+        # crash semantics: while the log store's process is down, emitters
+        # fire-and-forget into the void — events are *counted* as lost,
+        # never chained from a wiped head (which would fork the chain)
+        self.down = False
+        self.lost_while_down = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _plain(value: object) -> object:
+        """Coerce an attr value to plain JSON data (repr as a last resort)
+        so the canonical form survives a journal round-trip unchanged."""
+        try:
+            return json.loads(json.dumps(value))
+        except (TypeError, ValueError):
+            return repr(value)
+
     def emit(self, event: AuditEvent) -> AuditEvent:
         """Record ``event``, chain its digest, and fan out to subscribers."""
         if event.outcome not in Outcome.ALL:
             raise ValueError(f"unknown outcome {event.outcome!r}")
+        if self.down:
+            self.lost_while_down += 1
+            return event
+        object.__setattr__(
+            event, "attrs", {k: self._plain(v) for k, v in event.attrs.items()})
         digest = hashlib.sha256(
             self._head.encode() + event.canonical()
         ).hexdigest()
         object.__setattr__(event, "digest", digest)
         self._head = digest
         self._events.append(event)
+        self._jpublish("audit.emit", **self._event_dict(event))
         dead: List[Callable[[AuditEvent], None]] = []
         for sub in self._subscribers:
             try:
@@ -238,6 +270,59 @@ class AuditLog:
 
     def __iter__(self) -> Iterator[AuditEvent]:
         return iter(list(self._events))
+
+    # ------------------------------------------------------------------
+    # durability (crash recovery of the log store itself)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _event_dict(event: AuditEvent) -> Dict[str, object]:
+        return {
+            "time": event.time, "source": event.source, "actor": event.actor,
+            "action": event.action, "resource": event.resource,
+            "outcome": event.outcome, "domain": event.domain,
+            "zone": event.zone, "attrs": dict(event.attrs),
+            "digest": event.digest,
+        }
+
+    @staticmethod
+    def _event_from(data: Dict[str, object]) -> AuditEvent:
+        digest = str(data.pop("digest"))
+        event = AuditEvent(**data)  # type: ignore[arg-type]
+        object.__setattr__(event, "digest", digest)
+        return event
+
+    def durable_state(self) -> Dict[str, object]:
+        return {
+            "head": self._head,
+            "events": [self._event_dict(e) for e in self._events],
+        }
+
+    def wipe_state(self) -> None:
+        """Crash: the stored trail is gone.  Live subscribers (the SIEM
+        forwarders) are separate infrastructure and stay subscribed."""
+        self._events = []
+        self._head = self.GENESIS
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._events = [self._event_from(dict(d)) for d in state["events"]]
+        self._head = str(state["head"])
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
+        if kind == "audit.emit":
+            event = self._event_from(dict(data))
+            self._events.append(event)
+            self._head = event.digest
+
+    def verify_recovery(self, report: "RecoveryReport") -> None:
+        intact, bad = self.verify_chain()
+        if not intact:
+            raise RecoveryError(
+                f"audit log {self.name!r}: recovered hash chain breaks at "
+                f"event {bad}")
+        if self._events and self._events[-1].digest != self._head:
+            raise RecoveryError(
+                f"audit log {self.name!r}: recovered head does not match "
+                "the last event's digest")
 
 
 class CombinedAuditView:

@@ -129,12 +129,15 @@ class IdentityBroker(OidcProvider):
         """
         if role not in (Role.ADMIN_INFRA, Role.ADMIN_SECURITY, Role.ALLOCATOR):
             raise AuthorizationError(f"{role} is not an administrative role")
+        self._jpublish("broker.admin_grant", sub=upstream_sub, role=role.value)
         self._admin_roles.setdefault(upstream_sub, set()).add(role)
 
     def revoke_admin_role(self, upstream_sub: str, role: Optional[Role] = None) -> None:
         roles = self._admin_roles.get(upstream_sub)
         if roles is None:
             return
+        self._jpublish("broker.admin_revoke", sub=upstream_sub,
+                       role=None if role is None else role.value)
         if role is None:
             roles.clear()
         else:
@@ -459,11 +462,15 @@ class IdentityBroker(OidcProvider):
         revoked_sessions = 0
         revoked_access = 0
         if project is None:
+            self._jpublish("oidc.session_revoke_subject", subject=uid)
             revoked_sessions = self.sessions.revoke_subject(uid)
-            for jti, record in self._issued.items():
-                if record.get("subject") == uid and jti not in self._revoked_jtis:
-                    self._revoked_jtis.add(jti)
-                    revoked_access += 1
+            hit = [jti for jti, record in self._issued.items()
+                   if record.get("subject") == uid
+                   and jti not in self._revoked_jtis]
+            if hit:
+                self._jpublish("broker.revoke_access", subject=uid, jtis=hit)
+            self._revoked_jtis.update(hit)
+            revoked_access = len(hit)
         self._audit("system", "access.revoked", uid, Outcome.INFO,
                     project=project or "*", rbac=revoked_tokens,
                     sessions=revoked_sessions, oidc=revoked_access)
@@ -489,3 +496,65 @@ class IdentityBroker(OidcProvider):
                 raise TokenRevoked(f"token {jti} is revoked")
             return claims
         raise TokenRevoked(f"token {jti} is unknown to this broker")
+
+    # ------------------------------------------------------------------
+    # durability: broker state = base provider + RBAC registry + ACLs
+    # ------------------------------------------------------------------
+    def _wire_token_wal(self) -> None:
+        # the token service commits through the broker's journal; a
+        # fenced ex-primary therefore aborts mints before registering them
+        self.tokens.publish = lambda kind, data: self._jpublish(kind, **data)
+
+    def attach_journal(self, journal) -> None:
+        self._wire_token_wal()
+        super().attach_journal(journal)
+
+    def adopt_journal(self, journal) -> None:
+        self._wire_token_wal()
+        super().adopt_journal(journal)
+
+    def durable_state(self) -> Dict[str, object]:
+        state = super().durable_state()
+        state["admin_roles"] = {
+            sub: sorted(r.value for r in roles)
+            for sub, roles in self._admin_roles.items()
+        }
+        state["tokens"] = self.tokens.durable_state()
+        return state
+
+    def wipe_state(self) -> None:
+        super().wipe_state()
+        self.tokens.wipe_state()
+        self._admin_roles = {}
+        self._login_states = {}
+        self._portal_service_token = None
+        self._portal_token_exp = 0.0
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        super().load_state(state)
+        self.tokens.key = self.key  # one signing identity post-adoption
+        self._admin_roles = {
+            sub: {Role(v) for v in values}
+            for sub, values in state["admin_roles"].items()
+        }
+        self.tokens.load_state(state["tokens"])
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
+        if self.tokens.apply_entry(kind, data):
+            return
+        if kind == "broker.admin_grant":
+            self._admin_roles.setdefault(
+                str(data["sub"]), set()).add(Role(data["role"]))
+        elif kind == "broker.admin_revoke":
+            roles = self._admin_roles.get(str(data["sub"]))
+            if roles is not None:
+                if data["role"] is None:
+                    roles.clear()
+                else:
+                    roles.discard(Role(data["role"]))
+        elif kind == "broker.revoke_access":
+            self._revoked_jtis.update(data["jtis"])
+        else:
+            super().apply_entry(kind, data)
+            if kind == "oidc.key_rotated":
+                self.tokens.key = self.key

@@ -14,7 +14,7 @@ callable in-process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.audit import AuditLog, Outcome
@@ -71,6 +71,11 @@ class TokenService:
         self.max_ttl = max_ttl
         self._issued: Dict[str, IssuedToken] = {}
         self._revoked: Set[str] = set()
+        # WAL hook: the owning broker points this at its journal publish
+        # (kind, data) so every mint/revoke is committed durably *before*
+        # local state changes — a fenced ex-primary aborts here, having
+        # registered nothing
+        self.publish: Optional[Callable[[str, Dict[str, object]], None]] = None
 
     # ------------------------------------------------------------------
     # minting
@@ -126,6 +131,8 @@ class TokenService:
             issued_at=now,
             expires_at=now + effective_ttl,
         )
+        if self.publish is not None:
+            self.publish("rbac.mint", asdict(record))
         self._issued[jti] = record
         if audit_issue:
             self.audit.record(
@@ -141,6 +148,8 @@ class TokenService:
     def revoke_jti(self, jti: str) -> bool:
         if jti not in self._issued:
             return False
+        if self.publish is not None:
+            self.publish("rbac.revoke", {"jti": jti})
         self._revoked.add(jti)
         self.audit.record(
             self.clock.now(), "token-service", "system", "rbac.revoke", jti,
@@ -154,7 +163,7 @@ class TokenService:
         Returns the number of tokens revoked — the kill switch reports it.
         """
         now = self.clock.now()
-        n = 0
+        hit = []
         for jti, rec in self._issued.items():
             if rec.subject != subject or jti in self._revoked:
                 continue
@@ -162,8 +171,12 @@ class TokenService:
                 continue
             if rec.expires_at <= now:
                 continue
-            self._revoked.add(jti)
-            n += 1
+            hit.append(jti)
+        if hit and self.publish is not None:
+            self.publish("rbac.revoke_subject",
+                         {"subject": subject, "jtis": hit})
+        self._revoked.update(hit)
+        n = len(hit)
         if n:
             self.audit.record(
                 now, "token-service", "system", "rbac.revoke_subject", subject,
@@ -173,6 +186,17 @@ class TokenService:
 
     def is_revoked(self, jti: str) -> bool:
         return jti in self._revoked
+
+    def is_invalid(self, jti: str) -> bool:
+        """Durability-mode revocation oracle: revoked OR simply unknown.
+
+        A durable broker trusts only journaled facts — a jti absent from
+        the issued registry (e.g. minted by a fenced zombie primary on
+        the wrong side of a partition) is rejected outright.  Validators
+        check expiry *before* consulting this, so purged-expired records
+        never cause false rejections.
+        """
+        return jti in self._revoked or jti not in self._issued
 
     def issued(self, jti: str) -> Optional[IssuedToken]:
         return self._issued.get(jti)
@@ -186,10 +210,48 @@ class TokenService:
         cutoff = self.clock.now() - grace
         stale = [jti for jti, rec in self._issued.items()
                  if rec.expires_at < cutoff]
+        if stale and self.publish is not None:
+            self.publish("rbac.purge", {"jtis": stale})
         for jti in stale:
             del self._issued[jti]
             self._revoked.discard(jti)
         return len(stale)
+
+    # ------------------------------------------------------------------
+    # durability (driven by the owning broker's journal)
+    # ------------------------------------------------------------------
+    def durable_state(self) -> Dict[str, object]:
+        return {
+            "issued": {jti: asdict(rec) for jti, rec in self._issued.items()},
+            "revoked": sorted(self._revoked),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._issued = {
+            jti: IssuedToken(**rec) for jti, rec in state["issued"].items()
+        }
+        self._revoked = set(state["revoked"])
+
+    def wipe_state(self) -> None:
+        self._issued = {}
+        self._revoked = set()
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> bool:
+        """Replay one journaled mutation; returns False for foreign kinds."""
+        if kind == "rbac.mint":
+            record = IssuedToken(**data)
+            self._issued[record.jti] = record
+        elif kind == "rbac.revoke":
+            self._revoked.add(str(data["jti"]))
+        elif kind == "rbac.revoke_subject":
+            self._revoked.update(data["jtis"])
+        elif kind == "rbac.purge":
+            for jti in data["jtis"]:
+                self._issued.pop(jti, None)
+                self._revoked.discard(jti)
+        else:
+            return False
+        return True
 
     def live_tokens(self, subject: Optional[str] = None) -> List[IssuedToken]:
         now = self.clock.now()

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Union
 from repro.audit import AuditLog, CombinedAuditView
 from repro.broker import IdentityBroker, RbacTokenValidator, Role
 from repro.clock import SimClock
+from repro.errors import ConfigurationError
 from repro.cluster import (
     JupyterService,
     ManagementNode,
@@ -51,6 +52,8 @@ from repro.policy import PolicyEngine, standard_zero_trust_rules
 from repro.portal import UserPortal
 from repro.resilience import (
     AdmissionController,
+    DurabilityStore,
+    FailoverController,
     FaultInjector,
     OverloadConfig,
     ResilienceRuntime,
@@ -134,14 +137,47 @@ class IsambardDeployment:
     resilience: Optional[ResilienceRuntime] = None
     # overload-protection sizing; None when admission control is off
     overload: Optional[OverloadConfig] = None
+    # crash-fault tolerance: the WAL store; None when durability is off
+    durability: Optional[DurabilityStore] = None
+    # active-standby supervision; None unless built with failover=True
+    failover: Optional[FailoverController] = None
+    # component name -> (crash_fn, restart_fn); populated by the builder
+    crash_targets: Dict[str, tuple] = field(default_factory=dict)
+    # validator factory honouring failover re-pointing (set by the builder)
+    validator_factory: Optional[object] = None
 
     # ------------------------------------------------------------------
     def validator_for(self, audience: str) -> RbacTokenValidator:
         """Resource-side RBAC validator against the broker's keys."""
+        if self.validator_factory is not None:
+            return self.validator_factory(audience)
         return RbacTokenValidator(
             self.clock, self.broker.issuer, audience,
             self.broker.jwks, self.broker.tokens.is_revoked,
         )
+
+    def crash(self, name: str) -> None:
+        """Kill a component in place: its endpoint goes down and its
+        in-memory state is wiped — exactly what a pod OOM-kill does.
+        Targets: ``broker``, ``portal``, ``ssh-ca``, ``idp-lastresort``,
+        ``audit-<domain>`` log stores and ``fw-*`` forwarders."""
+        if name not in self.crash_targets:
+            raise ConfigurationError(f"no crash hooks registered for {name!r}")
+        self.crash_targets[name][0]()
+
+    def restart(self, name: str):
+        """Restart a crashed component.  With durability on it replays
+        snapshot + journal (returning the RecoveryReport where there is
+        one); journaling off restarts cold and empty.  If failover
+        already promoted the standby, the ex-primary instead rejoins as
+        the new standby."""
+        if self.failover is not None:
+            pair = self.failover.pairs.get(name)
+            if pair is not None and pair.promoted:
+                return self.failover.rejoin(name, pair.primary)
+        if name not in self.crash_targets:
+            raise ConfigurationError(f"no crash hooks registered for {name!r}")
+        return self.crash_targets[name][1]()
 
     def refresh_tunnels(self) -> None:
         """Heartbeat the Zenith tunnel registrations (the deployment's
@@ -226,6 +262,8 @@ def build_isambard(
     resilience: Union[bool, RetryPolicy] = False,
     overload: Union[bool, OverloadConfig] = False,
     staleness_window: float = 60.0,
+    durability: bool = False,
+    failover: bool = False,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
 
@@ -252,7 +290,22 @@ def build_isambard(
     it.  Enabling overload implies a resilience runtime (the clients
     must honour ``retry_after`` for admission control to work as a
     backpressure signal rather than a hard failure).
+
+    ``durability`` turns on crash-fault tolerance (PR 3): the stateful
+    control-plane services (broker, last-resort IdP, SSH CA, portal),
+    the per-domain audit log stores and the SIEM forwarders commit every
+    mutation to write-ahead journals in a shared
+    :class:`~repro.resilience.DurabilityStore`; ``dri.crash(name)`` /
+    ``dri.restart(name)`` then model pod kills with lossless recovery.
+    Signing keys stay in the store's KMS-modelled vault, never in the
+    journal.  ``failover=True`` (implies durability) additionally parks
+    warm standbys for the broker and the SSH CA under a health-checked
+    :class:`~repro.resilience.FailoverController`; promotion replays the
+    journal, acquires a fresh fencing epoch (deposed primaries can no
+    longer commit) and takes over the primary's endpoint name.
     """
+    if failover:
+        durability = True
     clock = SimClock(start=0.0)
     ids = IdFactory(seed=seed)
     logs = {
@@ -322,9 +375,19 @@ def build_isambard(
         )
         broker.add_upstream(upstream_id, label, provider.name, cfg, kind=kind)
 
+    # failover re-points this cell at the promoted standby, so every
+    # validator built here keeps consulting the *active* broker
+    active_broker: List[IdentityBroker] = [broker]
+
+    def _revocation(jti: str) -> bool:
+        tokens = active_broker[0].tokens
+        # durability mode trusts only journaled facts: unknown jtis (e.g.
+        # minted by a fenced zombie primary) are rejected outright
+        return tokens.is_invalid(jti) if durability else tokens.is_revoked(jti)
+
     def validator_for(audience: str) -> RbacTokenValidator:
         return RbacTokenValidator(
-            clock, broker.issuer, audience, broker.jwks, broker.tokens.is_revoked
+            clock, broker.issuer, audience, broker.jwks, _revocation
         )
 
     # cluster objects exist before the portal's revocation hook references them
@@ -405,7 +468,7 @@ def build_isambard(
     zenith_client = ZenithClient("zenith-client", "jupyter")
     network.attach(zenith_client, OperatingDomain.MDC, Zone.HPC)
     # re-enrollment after a drop mints a fresh service token each time
-    zenith_client.token_source = lambda: broker.tokens.mint(
+    zenith_client.token_source = lambda: active_broker[0].tokens.mint(
         "mdc-zenith-client", "zenith", Role.SERVICE, ttl=300
     )[0]
 
@@ -488,7 +551,7 @@ def build_isambard(
         )
 
     def _soc_sink(records):
-        token, _ = broker.tokens.mint(
+        token, _ = active_broker[0].tokens.mint(
             "log-shipper", "soc", Role.SERVICE, ttl=120, audit_issue=False
         )
         from repro.net.http import HttpRequest
@@ -529,7 +592,7 @@ def build_isambard(
     # kill-switch levers: one principal, severed everywhere
     killswitch.register_user_action("bastion-flag", bastion.flag_principal)
     killswitch.register_user_action(
-        "broker-revoke", lambda p: broker.revoke_user_access(p, None)
+        "broker-revoke", lambda p: active_broker[0].revoke_user_access(p, None)
     )
     killswitch.register_user_action("ssh-sessions", login_sshd.close_sessions_for)
     killswitch.register_user_action("jupyter-sessions", jupyter.close_sessions_for)
@@ -580,7 +643,7 @@ def build_isambard(
 
     # --- the revocation fan-out the portal hook calls --------------------
     def _revoke_everywhere(uid: str, project: str, account: str) -> None:
-        broker.revoke_user_access(uid, project)
+        active_broker[0].revoke_user_access(uid, project)
         if account:
             login_sshd.close_sessions_for(account)
             slurm.cancel_account(account, by="portal-revocation")
@@ -588,6 +651,109 @@ def build_isambard(
                 login_sshd_i3.close_sessions_for(account)
                 slurm_i3.cancel_account(account, by="portal-revocation")
         jupyter.close_sessions_for(uid)
+
+    # --- crash-fault tolerance: WAL journals, vault, warm standbys -------
+    # journals attach *after* construction so every build-time registration
+    # (clients, upstreams, host certificates) lands in the baseline snapshot
+    active_ca: List[SshCertificateAuthority] = [ssh_ca]
+    store: Optional[DurabilityStore] = None
+    broker_standby: Optional[IdentityBroker] = None
+    ca_standby: Optional[SshCertificateAuthority] = None
+    if durability:
+        store = DurabilityStore(clock)
+        for domain, log in logs.items():
+            log.attach_journal(store.stream(f"audit-{domain}"))
+        broker.attach_journal(store.stream("broker"))
+        lastresort.attach_journal(store.stream("idp-lastresort"))
+        ssh_ca.attach_journal(store.stream("ssh-ca"))
+        portal.attach_journal(store.stream("portal"))
+        for fw in forwarders:
+            fw.attach_journal(store.stream(fw.name))
+
+        # sshds consult the CA's journaled issuance registry: a serial a
+        # fenced ex-primary signed after deposition was never registered
+        def _cert_registered(serial: int, key_id: str) -> bool:
+            return active_ca[0].cert_registered(serial, key_id)
+
+        login_sshd.cert_registry = _cert_registered
+        if with_isambard3:
+            login_sshd_i3.cert_registry = _cert_registered
+    if failover:
+        # warm standbys carry the same *service* name (they become that
+        # service on promotion) parked under their own endpoint names;
+        # adopt_journal keeps them fenced (epoch 0) until promoted
+        broker_standby = IdentityBroker(
+            "broker", clock, ids, audit=logs["fds"],
+            rbac_default_ttl=rbac_default_ttl, rbac_max_ttl=rbac_max_ttl,
+        )
+        broker_standby.ssh_cert_ttl = ssh_cert_ttl
+        for u in broker._upstreams.values():
+            broker_standby.add_upstream(
+                u.upstream_id, u.label, u.endpoint, u.rp.client, kind=u.kind)
+        broker_standby.adopt_journal(store.stream("broker"))
+        network.attach(broker_standby, OperatingDomain.FDS, Zone.ACCESS,
+                       name="broker-standby")
+        ca_standby = SshCertificateAuthority(
+            "ssh-ca", clock, validator_for("ssh-ca"), audit=logs["fds"],
+            cert_ttl=ssh_cert_ttl,
+        )
+        ca_standby.adopt_journal(store.stream("ssh-ca"))
+        network.attach(ca_standby, OperatingDomain.FDS, Zone.ACCESS,
+                       name="ssh-ca-standby")
+
+    # --- crash/restart hooks (chaos `crash` faults + dri.crash/restart) --
+    crash_targets: Dict[str, tuple] = {}
+
+    def _service_target(ep_name: str):
+        def crash_fn() -> None:
+            ep = network.endpoint(ep_name)
+            ep.up = False
+            ep.service.wipe_state()
+
+        def restart_fn():
+            ep = network.endpoint(ep_name)
+            report = None
+            if getattr(ep.service, "journal", None) is not None:
+                report = ep.service.recover()
+            ep.up = True
+            return report
+
+        return crash_fn, restart_fn
+
+    for ep_name in ("broker", "portal", "ssh-ca", "idp-lastresort"):
+        crash_targets[ep_name] = _service_target(ep_name)
+
+    def _log_target(log: AuditLog):
+        def crash_fn() -> None:
+            log.down = True     # emitters now fire into the void (counted)
+            log.wipe_state()
+
+        def restart_fn():
+            report = log.recover() if log.journal is not None else None
+            log.down = False
+            return report
+
+        return crash_fn, restart_fn
+
+    for domain, log in logs.items():
+        crash_targets[f"audit-{domain}"] = _log_target(log)
+
+    def _fw_target(fw: LogForwarder):
+        def crash_fn() -> None:
+            fw.stop()
+            fw.wipe_state()
+
+        def restart_fn():
+            report = fw.recover() if fw.journal is not None else None
+            fw.start()
+            return report
+
+        return crash_fn, restart_fn
+
+    for fw in forwarders:
+        crash_targets[fw.name] = _fw_target(fw)
+    for target, (crash_fn, restart_fn) in crash_targets.items():
+        faults.register_crash_hooks(target, crash_fn, restart_fn)
 
     dri = IsambardDeployment(
         clock=clock, ids=ids, network=network, logs=logs, audit=audit,
@@ -604,7 +770,31 @@ def build_isambard(
         mgmt_node_i3=mgmt_node_i3, slurm_i3=slurm_i3,
         dcim=dcim, spire=spire,
         faults=faults, resilience=runtime, overload=overload_cfg,
+        durability=store, crash_targets=crash_targets,
+        validator_factory=validator_for,
     )
+    if failover:
+        failover_ctl = FailoverController(clock, network, audit=logs["sec"])
+
+        def _promote_broker(standby) -> None:
+            active_broker[0] = standby
+            dri.broker = standby
+            edge.register_origin("broker", standby)
+
+        def _promote_ca(standby) -> None:
+            active_ca[0] = standby
+            dri.ssh_ca = standby
+
+        failover_ctl.register(
+            "broker", broker, broker_standby, standby_name="broker-standby",
+            domain=OperatingDomain.FDS, zone=Zone.ACCESS,
+            on_promote=_promote_broker)
+        failover_ctl.register(
+            "ssh-ca", ssh_ca, ca_standby, standby_name="ssh-ca-standby",
+            domain=OperatingDomain.FDS, zone=Zone.ACCESS,
+            on_promote=_promote_ca)
+        failover_ctl.start()
+        dri.failover = failover_ctl
     dri.refresh_tunnels()
 
     from repro.core.workflows import Workflows

@@ -38,6 +38,8 @@ __all__ = [
     "CertificateError",
     "PolicyViolation",
     "KillSwitchActive",
+    "EpochFenced",
+    "RecoveryError",
     "SchedulerError",
     "QuotaExceeded",
     "ConfigurationError",
@@ -206,6 +208,21 @@ class PolicyViolation(ReproError):
 
 class KillSwitchActive(ReproError):
     """The kill switch for this service or principal is engaged."""
+
+
+class EpochFenced(AuthorizationError):
+    """A deposed writer tried to commit to a journal it no longer owns.
+
+    Raised by the durable store when an append presents a stale fencing
+    epoch — the split-brain guard: after a failover promotes the standby,
+    the old primary can keep running but can no longer mint anything,
+    because every mutation must clear the journal first.
+    """
+
+
+class RecoveryError(ReproError):
+    """Post-recovery invariant verification failed (broken audit chain,
+    non-monotonic CA serial, revoked credential resurrected...)."""
 
 
 class SchedulerError(ReproError):

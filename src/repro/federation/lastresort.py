@@ -64,6 +64,7 @@ class LastResortIdP(OidcProvider):
     def invite(self, email: str) -> str:
         """Create an invitation; returns the code emailed to the user."""
         code = self.ids.secret(20)
+        self._jpublish("lastresort.invite", code=code, email=email)
         self._invitations[code] = email
         self._audit("isambard-team", "lastresort.invite", email, Outcome.INFO)
         return code
@@ -71,6 +72,7 @@ class LastResortIdP(OidcProvider):
     def deactivate(self, username: str) -> None:
         user = self._users.get(username)
         if user is not None:
+            self._jpublish("lastresort.deactivate", username=username)
             user.active = False
             self.sessions.revoke_subject(f"{self.name}:{username}")
 
@@ -103,6 +105,8 @@ class LastResortIdP(OidcProvider):
             display_name=display_name,
             totp=TotpDevice(secret=secret),
         )
+        self._jpublish("lastresort.register",
+                       code=code, **self._user_dict(user))
         self._users[username] = user
         self._audit(username, "lastresort.register", email, Outcome.SUCCESS)
         return HttpResponse.json({"registered": username, "totp_secret": secret.hex()})
@@ -140,3 +144,58 @@ class LastResortIdP(OidcProvider):
         self._audit(username, "lastresort.login", "", Outcome.SUCCESS)
         resp = HttpResponse.json({"authenticated": True, "sub": session.subject})
         return self.set_session_cookie(resp, session)
+
+    # ------------------------------------------------------------------
+    # durability: user directory + invitations ride the provider journal
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _user_dict(user: LastResortUser) -> Dict[str, object]:
+        return {
+            "username": user.username, "password": user.password,
+            "email": user.email, "display_name": user.display_name,
+            "totp_secret": user.totp.secret.hex(), "active": user.active,
+        }
+
+    @staticmethod
+    def _user_from(data: Dict[str, object]) -> LastResortUser:
+        return LastResortUser(
+            username=str(data["username"]), password=str(data["password"]),
+            email=str(data["email"]), display_name=str(data["display_name"]),
+            totp=TotpDevice(secret=bytes.fromhex(str(data["totp_secret"]))),
+            active=bool(data["active"]),
+        )
+
+    def durable_state(self) -> Dict[str, object]:
+        state = super().durable_state()
+        state["invitations"] = dict(self._invitations)
+        state["users"] = {u: self._user_dict(rec)
+                          for u, rec in self._users.items()}
+        return state
+
+    def wipe_state(self) -> None:
+        super().wipe_state()
+        self._invitations = {}
+        self._users = {}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        super().load_state(state)
+        self._invitations = dict(state["invitations"])
+        self._users = {u: self._user_from(d)
+                       for u, d in state["users"].items()}
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
+        if kind == "lastresort.invite":
+            self._invitations[str(data["code"])] = str(data["email"])
+        elif kind == "lastresort.register":
+            payload = dict(data)
+            code = str(payload.pop("code"))
+            self._invitations.pop(code, None)
+            user = self._user_from(payload)
+            self._users[user.username] = user
+        elif kind == "lastresort.deactivate":
+            user = self._users.get(str(data["username"]))
+            if user is not None:
+                user.active = False
+            self.sessions.revoke_subject(f"{self.name}:{data['username']}")
+        else:
+            super().apply_entry(kind, data)

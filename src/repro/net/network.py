@@ -232,6 +232,17 @@ class Network:
 
         request.source = src
         self.clock.advance(self.hop_latency + extra_latency)
+        if not d.up:
+            # a crash fault landed while this request was in flight: the
+            # connection drops and the caller sees an unavailable service
+            self.messages_faulted += 1
+            self.audit.record(
+                self.clock.now(), "network", src, "endpoint.crashed_inflight",
+                dst, Outcome.ERROR, domain=str(d.domain), zone=str(d.zone),
+                path=request.path,
+            )
+            raise ServiceUnavailable(
+                f"endpoint {dst} crashed while {request.path} was in flight")
         self.messages_delivered += 1
         self.audit.record(
             self.clock.now(), "network", src, "message.delivered", dst,

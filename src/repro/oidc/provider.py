@@ -27,6 +27,7 @@ lifetimes, per-session expiry, and audit events for every decision.
 from __future__ import annotations
 
 import hmac as _hmac
+from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from repro.audit import AuditLog, Outcome
@@ -44,6 +45,7 @@ from repro.oidc.messages import (
     pkce_challenge,
 )
 from repro.oidc.session import Session, SessionStore
+from repro.resilience.durability import Durable, ServiceJournal
 
 __all__ = ["OidcProvider"]
 
@@ -57,8 +59,17 @@ def _parse_cookie(header: str) -> Dict[str, str]:
     return out
 
 
-class OidcProvider(Service):
+class OidcProvider(Service, Durable):
     """Base OIDC provider.  See module docstring for the endpoint map.
+
+    When the deployment attaches a journal (``durability=True``), every
+    durable mutation — client registrations, SSO sessions, authorization
+    codes, issued/revoked token ids, key generations — is committed to
+    the write-ahead journal, so a crash recovers losslessly.  Device
+    flows and other in-flight login scratch state are deliberately
+    transient: a crash aborts them and the user simply retries.
+    Signing keys are never serialized — they live in the journal's
+    KMS-modelled vault and are re-adopted on recovery.
 
     Parameters
     ----------
@@ -130,6 +141,7 @@ class OidcProvider(Service):
             client_secret=secret,
             require_pkce=(not confidential) if require_pkce is None else require_pkce,
         )
+        self._jpublish("oidc.client", **asdict(cfg))
         self._clients[client_id] = cfg
         return cfg
 
@@ -146,10 +158,16 @@ class OidcProvider(Service):
         kid.  Relying parties that cache the JWKS must re-fetch; local
         validators sharing ``self.jwks`` see the new key immediately.
         """
-        self._key_generation += 1
         new_key = generate_signing_key(
-            "EdDSA", kid=f"{self.name}-k{self._key_generation}"
+            "EdDSA", kid=f"{self.name}-k{self._key_generation + 1}"
         )
+        if self.journal is not None:
+            # the key object itself goes to the KMS-modelled vault; only
+            # the generation/kid facts enter the journal
+            self.journal.seal(f"signing-key:{new_key.kid}", new_key)
+        self._jpublish("oidc.key_rotated",
+                       generation=self._key_generation + 1, kid=new_key.kid)
+        self._key_generation += 1
         self.jwks.add(new_key.public())
         self.key = new_key
         self._audit("operator", "key.rotated", new_key.kid, Outcome.INFO)
@@ -160,6 +178,7 @@ class OidcProvider(Service):
         anything still signed under it stops verifying."""
         if kid == self.key.kid:
             raise ConfigurationError("cannot retire the active signing key")
+        self._jpublish("oidc.key_retired", kid=kid)
         self.jwks.retire(kid)
         self._audit("operator", "key.retired", kid, Outcome.INFO)
 
@@ -175,6 +194,7 @@ class OidcProvider(Service):
         ttl: Optional[float] = None,
     ) -> Session:
         session = self.sessions.create(subject, claims, amr=amr, ttl=ttl)
+        self._jpublish("oidc.session", **self._session_dict(session))
         self._audit(subject, "session.create", session.sid, Outcome.SUCCESS, amr=amr)
         return session
 
@@ -261,6 +281,7 @@ class OidcProvider(Service):
             auth_time=session.auth_time,
             expires_at=self.clock.now() + self.code_ttl,
         )
+        self._jpublish("oidc.code", **asdict(code))
         self._codes[code.code] = code
         self._audit(
             session.subject, "authorize.code_issued", client.client_id, Outcome.SUCCESS,
@@ -411,6 +432,7 @@ class OidcProvider(Service):
             return HttpResponse.error(400, "invalid code")
         if code.used:
             # Replay: revoke everything minted from this code (RFC 6749 §4.1.2).
+            self._jpublish("oidc.code_replayed", code=code.code)
             for jti in self._code_tokens.get(code.code, []):
                 self._revoked_jtis.add(jti)
             self._audit(code.subject, "token.code_replayed", client.client_id, Outcome.DENIED)
@@ -433,7 +455,6 @@ class OidcProvider(Service):
 
     def _issue_tokens(self, code: AuthorizationCode, client: ClientConfig) -> HttpResponse:
         """Shared token-minting tail for the code and device grants."""
-        code.used = True
         now = self.clock.now()
         jti = self.ids.jti()
         access_claims: Dict[str, object] = {
@@ -449,12 +470,18 @@ class OidcProvider(Service):
         access_token = encode_jwt(access_claims, self.key)
         issued_claims = dict(code.claims)
         issued_claims.setdefault("auth_time", code.auth_time)
-        self._issued[jti] = {
+        record = {
             "subject": code.subject,
             "claims": issued_claims,
             "scope": code.scope,
             "exp": now + self.access_ttl,
         }
+        # WAL: the grant is committed before any local state changes, so
+        # a fenced ex-primary aborts here with nothing half-issued
+        self._jpublish("oidc.tokens_issued",
+                       code=code.code, jti=jti, record=record)
+        code.used = True
+        self._issued[jti] = record
         self._code_tokens.setdefault(code.code, []).append(jti)
 
         id_claims: Dict[str, object] = {
@@ -496,6 +523,7 @@ class OidcProvider(Service):
         if session is None:
             return HttpResponse.json({"logged_out": False,
                                       "reason": "no active session"})
+        self._jpublish("oidc.session_revoked", sid=session.sid)
         self.sessions.revoke(session.sid)
         self._audit(session.subject, "session.logout", session.sid, Outcome.INFO)
         resp = HttpResponse.json({"logged_out": True})
@@ -556,11 +584,127 @@ class OidcProvider(Service):
         return HttpResponse.json({"revoked": jti})
 
     def revoke_jti(self, jti: str) -> None:
+        self._jpublish("oidc.jti_revoked", jti=jti)
         self._revoked_jtis.add(jti)
         self._audit("system", "token.revoked", jti, Outcome.INFO)
 
     def is_revoked(self, jti: str) -> bool:
         return jti in self._revoked_jtis
+
+    # ------------------------------------------------------------------
+    # durability: the base provider's durable state and replay
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _session_dict(session: Session) -> Dict[str, object]:
+        return {
+            "sid": session.sid, "subject": session.subject,
+            "claims": dict(session.claims), "auth_time": session.auth_time,
+            "expires_at": session.expires_at, "revoked": session.revoked,
+            "amr": list(session.amr),
+        }
+
+    def seal_keys(self, journal: ServiceJournal) -> None:
+        journal.seal(f"signing-key:{self.key.kid}", self.key)
+        journal.seal("jwks", self.jwks)
+
+    def adopt_keys(self, journal: ServiceJournal) -> None:
+        jwks = journal.unseal("jwks")
+        if jwks is not None:
+            self.jwks = jwks
+
+    def _adopt_active_key(self, kid: str) -> None:
+        if self.journal is None:
+            return
+        sealed = self.journal.unseal(f"signing-key:{kid}")
+        if sealed is not None:
+            self.key = sealed
+
+    def durable_state(self) -> Dict[str, object]:
+        return {
+            "key_generation": self._key_generation,
+            "active_kid": self.key.kid,
+            "clients": {cid: asdict(cfg) for cid, cfg in self._clients.items()},
+            "sessions": [self._session_dict(s)
+                         for s in self.sessions.export_sessions()],
+            "codes": {c: asdict(code) for c, code in self._codes.items()},
+            "issued": dict(self._issued),
+            "revoked_jtis": sorted(self._revoked_jtis),
+            "code_tokens": {c: list(jtis)
+                            for c, jtis in self._code_tokens.items()},
+        }
+
+    def wipe_state(self) -> None:
+        """Crash: all in-memory state is gone.  Key material survives in
+        the vault (KMS model); without a journal the keys also survive in
+        this object — real pods re-fetch them from the secret store."""
+        self.sessions.wipe()
+        self._clients = {}
+        self._codes = {}
+        self._issued = {}
+        self._revoked_jtis = set()
+        self._code_tokens = {}
+        self._device_flows = {}
+        self._device_by_user_code = {}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._key_generation = int(state["key_generation"])
+        self._adopt_active_key(str(state["active_kid"]))
+        self._clients = {
+            cid: ClientConfig(
+                client_id=d["client_id"],
+                redirect_uris=tuple(d["redirect_uris"]),
+                client_secret=d["client_secret"],
+                require_pkce=d["require_pkce"],
+                allowed_scopes=tuple(d["allowed_scopes"]),
+            )
+            for cid, d in state["clients"].items()
+        }
+        for d in state["sessions"]:
+            self.sessions.restore(Session(**d))
+        self._codes = {
+            c: AuthorizationCode(**d) for c, d in state["codes"].items()
+        }
+        self._issued = dict(state["issued"])
+        self._revoked_jtis = set(state["revoked_jtis"])
+        self._code_tokens = {c: list(j) for c, j in state["code_tokens"].items()}
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
+        if kind == "oidc.client":
+            self._clients[data["client_id"]] = ClientConfig(
+                client_id=data["client_id"],
+                redirect_uris=tuple(data["redirect_uris"]),
+                client_secret=data["client_secret"],
+                require_pkce=data["require_pkce"],
+                allowed_scopes=tuple(data["allowed_scopes"]),
+            )
+        elif kind == "oidc.session":
+            self.sessions.restore(Session(**data))
+        elif kind == "oidc.session_revoked":
+            self.sessions.revoke(str(data["sid"]))
+        elif kind == "oidc.session_revoke_subject":
+            self.sessions.revoke_subject(str(data["subject"]))
+        elif kind == "oidc.code":
+            code = AuthorizationCode(**data)
+            self._codes[code.code] = code
+        elif kind == "oidc.tokens_issued":
+            code = self._codes.get(str(data["code"]))
+            if code is not None:
+                code.used = True
+            self._issued[str(data["jti"])] = dict(data["record"])
+            self._code_tokens.setdefault(str(data["code"]), []).append(
+                str(data["jti"]))
+        elif kind == "oidc.code_replayed":
+            for jti in self._code_tokens.get(str(data["code"]), []):
+                self._revoked_jtis.add(jti)
+        elif kind == "oidc.jti_revoked":
+            self._revoked_jtis.add(str(data["jti"]))
+        elif kind == "oidc.key_rotated":
+            self._key_generation = int(data["generation"])
+            self._adopt_active_key(str(data["kid"]))
+            if self.key.kid == data["kid"]:
+                self.jwks.add(self.key.public())
+        elif kind == "oidc.key_retired":
+            self.jwks.retire(str(data["kid"]))
 
     # ------------------------------------------------------------------
     def _audit(self, actor: str, action: str, resource: str, outcome: str, **attrs) -> None:

@@ -93,5 +93,20 @@ class SessionStore:
         now = self.clock.now()
         return [s for s in self._sessions.values() if s.active(now)]
 
+    # ------------------------------------------------------------------
+    # durability support (journal replay at the owning provider)
+    # ------------------------------------------------------------------
+    def export_sessions(self) -> List[Session]:
+        """Every stored session, including revoked/expired ones — the
+        journal keeps full fidelity so replay is exact."""
+        return list(self._sessions.values())
+
+    def restore(self, session: Session) -> None:
+        """Re-insert a session exactly as journaled (sid preserved)."""
+        self._sessions[session.sid] = session
+
+    def wipe(self) -> None:
+        self._sessions = {}
+
     def __len__(self) -> int:
         return len(self._sessions)

@@ -89,3 +89,50 @@ class UnixAccountRegistry:
 
     def is_tombstoned(self, username: str) -> bool:
         return username in self._tombstones
+
+    # ------------------------------------------------------------------
+    # durability support (journal replay at the owning portal)
+    # ------------------------------------------------------------------
+    def restore_account(self, account: UnixAccount) -> None:
+        """Re-insert an account exactly as journaled (uid_number kept)."""
+        self._by_username[account.username] = account
+        self._by_key[(account.uid, account.project_id)] = account.username
+        self._next_uid_number = max(self._next_uid_number,
+                                    account.uid_number + 1)
+
+    def restore_tombstone(self, uid: str, project_id: str,
+                          username: str) -> None:
+        self._by_key.pop((uid, project_id), None)
+        self._tombstones.add(username)
+
+    def durable_state(self) -> Dict[str, object]:
+        return {
+            "accounts": [
+                {"username": a.username, "uid": a.uid,
+                 "project_id": a.project_id, "uid_number": a.uid_number}
+                for a in self._by_username.values()
+            ],
+            "tombstones": sorted(self._tombstones),
+            "next_uid_number": self._next_uid_number,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        for d in state["accounts"]:
+            account = UnixAccount(
+                username=str(d["username"]), uid=str(d["uid"]),
+                project_id=str(d["project_id"]),
+                uid_number=int(d["uid_number"]),
+            )
+            self._by_username[account.username] = account
+            self._by_key[(account.uid, account.project_id)] = account.username
+        self._tombstones = set(state["tombstones"])
+        for username in self._tombstones:
+            account = self._by_username.get(username)
+            if account is not None:
+                self._by_key.pop((account.uid, account.project_id), None)
+        self._next_uid_number = int(state["next_uid_number"])
+
+    def wipe(self) -> None:
+        self._by_username = {}
+        self._by_key = {}
+        self._tombstones = set()

@@ -29,7 +29,8 @@ from repro.errors import (
 )
 from repro.ids import IdFactory
 from repro.net.http import HttpRequest, HttpResponse, Service, route
-from repro.portal.accounts import UnixAccountRegistry
+from repro.portal.accounts import UnixAccount, UnixAccountRegistry
+from repro.resilience.durability import Durable, RecoveryReport
 from repro.portal.models import (
     Allocation,
     Invitation,
@@ -44,8 +45,16 @@ __all__ = ["UserPortal"]
 INVITATION_TTL = 14 * 24 * 3600.0  # two weeks to accept an invitation
 
 
-class UserPortal(Service):
+class UserPortal(Service, Durable):
     """User/project management portal and the broker's authorisation API.
+
+    The portal's authorisation database — projects, memberships,
+    invitations, users, UNIX accounts — is durable: every mutation is
+    committed to the write-ahead journal, and recovery replays it without
+    re-firing the ``on_revoke`` fan-out (the broker journals its own
+    revocations).  Project expiry timers are re-armed after recovery;
+    allocations that lapsed while the portal was down are expired
+    immediately on recovery.
 
     Parameters
     ----------
@@ -120,6 +129,7 @@ class UserPortal(Service):
             created_by=str(claims["sub"]),
             created_at=now,
         )
+        self._jpublish("portal.project", **self._project_dict(project))
         self._projects[project.project_id] = project
         invitation = self._make_invitation(
             project.project_id, Role.PI, pi_email, invited_by=str(claims["sub"])
@@ -242,6 +252,15 @@ class UserPortal(Service):
             unix_account=account.username,
             granted_by=invitation.invited_by,
             granted_at=now,
+        )
+        self._jpublish(
+            "portal.accept", code=code,
+            membership=self._membership_dict(membership),
+            account={"username": account.username, "uid": account.uid,
+                     "project_id": account.project_id,
+                     "uid_number": account.uid_number},
+            user={"uid": uid, "email": email,
+                  "name": str(claims.get("name", "")), "first_seen": now},
         )
         project.members[uid] = membership
         invitation.accepted_by = uid
@@ -378,6 +397,8 @@ class UserPortal(Service):
                 f"project {project_id} allocation exhausted "
                 f"({project.allocation.remaining():.1f}h left, {gpu_hours:.1f}h asked)"
             )
+        self._jpublish("portal.usage", project_id=project_id,
+                       gpu_hours=gpu_hours)
         project.allocation.gpu_hours_used += gpu_hours
 
     # ------------------------------------------------------------------
@@ -396,6 +417,7 @@ class UserPortal(Service):
             created_at=now,
             expires_at=now + INVITATION_TTL,
         )
+        self._jpublish("portal.invitation", **self._invitation_dict(invitation))
         self._invitations[invitation.code] = invitation
         return invitation
 
@@ -403,6 +425,8 @@ class UserPortal(Service):
         membership = project.members.get(uid)
         if membership is None or membership.revoked:
             return
+        self._jpublish("portal.member_revoked", project_id=project.project_id,
+                       uid=uid, unix_account=membership.unix_account)
         membership.revoked = True
         self.unix_accounts.revoke(uid, project.project_id)
         self.on_revoke(uid, project.project_id, membership.unix_account)
@@ -411,6 +435,8 @@ class UserPortal(Service):
         members = [m.uid for m in project.active_members()]
         for uid in members:
             self._remove_member(project, uid)
+        self._jpublish("portal.teardown", project_id=project.project_id,
+                       status=status.value)
         project.status = status
         # drop pending invitations — "all information related to the project
         # ... is removed from the authorisation list"
@@ -426,3 +452,175 @@ class UserPortal(Service):
         if project is None or project.status != ProjectStatus.ACTIVE:
             return
         self._teardown(project, ProjectStatus.EXPIRED, actor="scheduler")
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _membership_dict(m: Membership) -> Dict[str, object]:
+        return {
+            "uid": m.uid, "project_id": m.project_id, "role": m.role.value,
+            "unix_account": m.unix_account, "granted_by": m.granted_by,
+            "granted_at": m.granted_at, "revoked": m.revoked,
+        }
+
+    @staticmethod
+    def _membership_from(d: Dict[str, object]) -> Membership:
+        return Membership(
+            uid=str(d["uid"]), project_id=str(d["project_id"]),
+            role=Role(d["role"]), unix_account=str(d["unix_account"]),
+            granted_by=str(d["granted_by"]),
+            granted_at=float(d["granted_at"]), revoked=bool(d["revoked"]),
+        )
+
+    @staticmethod
+    def _invitation_dict(inv: Invitation) -> Dict[str, object]:
+        return {
+            "code": inv.code, "project_id": inv.project_id,
+            "role": inv.role.value, "email": inv.email,
+            "invited_by": inv.invited_by, "created_at": inv.created_at,
+            "expires_at": inv.expires_at, "accepted_by": inv.accepted_by,
+        }
+
+    def _project_dict(self, project: Project) -> Dict[str, object]:
+        alloc = project.allocation
+        return {
+            "project_id": project.project_id, "name": project.name,
+            "gpu_hours": alloc.gpu_hours, "start": alloc.start,
+            "end": alloc.end, "gpu_hours_used": alloc.gpu_hours_used,
+            "created_by": project.created_by, "created_at": project.created_at,
+            "status": project.status.value,
+            "members": [self._membership_dict(m)
+                        for m in project.members.values()],
+        }
+
+    def _project_from(self, d: Dict[str, object]) -> Project:
+        project = Project(
+            project_id=str(d["project_id"]), name=str(d["name"]),
+            allocation=Allocation(
+                gpu_hours=float(d["gpu_hours"]), start=float(d["start"]),
+                end=float(d["end"]),
+                gpu_hours_used=float(d["gpu_hours_used"]),
+            ),
+            created_by=str(d["created_by"]),
+            created_at=float(d["created_at"]),
+            status=ProjectStatus(d["status"]),
+        )
+        for md in d["members"]:
+            m = self._membership_from(md)
+            project.members[m.uid] = m
+        return project
+
+    def durable_state(self) -> Dict[str, object]:
+        return {
+            "projects": [self._project_dict(p)
+                         for p in self._projects.values()],
+            "invitations": [self._invitation_dict(i)
+                            for i in self._invitations.values()],
+            "users": [
+                {"uid": u.uid, "email": u.email, "name": u.name,
+                 "first_seen": u.first_seen, "active": u.active}
+                for u in self._users.values()
+            ],
+            "accounts": self.unix_accounts.durable_state(),
+        }
+
+    def wipe_state(self) -> None:
+        self._projects = {}
+        self._invitations = {}
+        self._users = {}
+        self.unix_accounts.wipe()
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        for d in state["projects"]:
+            project = self._project_from(d)
+            self._projects[project.project_id] = project
+        for d in state["invitations"]:
+            inv = Invitation(
+                code=str(d["code"]), project_id=str(d["project_id"]),
+                role=Role(d["role"]), email=str(d["email"]),
+                invited_by=str(d["invited_by"]),
+                created_at=float(d["created_at"]),
+                expires_at=float(d["expires_at"]),
+                accepted_by=d["accepted_by"],
+            )
+            self._invitations[inv.code] = inv
+        for d in state["users"]:
+            self._users[str(d["uid"])] = PortalUser(
+                uid=str(d["uid"]), email=str(d["email"]),
+                name=str(d["name"]), first_seen=float(d["first_seen"]),
+                active=bool(d["active"]),
+            )
+        self.unix_accounts.load_state(state["accounts"])
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
+        """Replay one journaled mutation.  Replay never calls
+        ``on_revoke`` — the broker journals its own revocations."""
+        if kind == "portal.project":
+            project = self._project_from(data)
+            self._projects[project.project_id] = project
+        elif kind == "portal.invitation":
+            inv = Invitation(
+                code=str(data["code"]), project_id=str(data["project_id"]),
+                role=Role(data["role"]), email=str(data["email"]),
+                invited_by=str(data["invited_by"]),
+                created_at=float(data["created_at"]),
+                expires_at=float(data["expires_at"]),
+                accepted_by=data["accepted_by"],
+            )
+            self._invitations[inv.code] = inv
+        elif kind == "portal.accept":
+            membership = self._membership_from(data["membership"])
+            project = self._projects.get(membership.project_id)
+            if project is not None:
+                project.members[membership.uid] = membership
+            inv = self._invitations.get(str(data["code"]))
+            if inv is not None:
+                inv.accepted_by = membership.uid
+            acct = data["account"]
+            self.unix_accounts.restore_account(UnixAccount(
+                username=str(acct["username"]), uid=str(acct["uid"]),
+                project_id=str(acct["project_id"]),
+                uid_number=int(acct["uid_number"]),
+            ))
+            ud = data["user"]
+            if ud["uid"] not in self._users:
+                self._users[str(ud["uid"])] = PortalUser(
+                    uid=str(ud["uid"]), email=str(ud["email"]),
+                    name=str(ud["name"]), first_seen=float(ud["first_seen"]),
+                )
+        elif kind == "portal.member_revoked":
+            project = self._projects.get(str(data["project_id"]))
+            if project is not None:
+                membership = project.members.get(str(data["uid"]))
+                if membership is not None:
+                    membership.revoked = True
+            self.unix_accounts.restore_tombstone(
+                str(data["uid"]), str(data["project_id"]),
+                str(data["unix_account"]))
+        elif kind == "portal.teardown":
+            project = self._projects.get(str(data["project_id"]))
+            if project is not None:
+                project.status = ProjectStatus(data["status"])
+            for code in [c for c, inv in self._invitations.items()
+                         if inv.project_id == data["project_id"]]:
+                del self._invitations[code]
+        elif kind == "portal.usage":
+            project = self._projects.get(str(data["project_id"]))
+            if project is not None:
+                project.allocation.gpu_hours_used += float(data["gpu_hours"])
+
+    def verify_recovery(self, report: RecoveryReport) -> None:
+        """Re-arm project expiry timers (crash-restart loses scheduled
+        callbacks); allocations that lapsed while the portal was down
+        expire immediately."""
+        now = self.clock.now()
+        for project in list(self._projects.values()):
+            if project.status != ProjectStatus.ACTIVE:
+                continue
+            if project.allocation.end > now:
+                self.clock.call_at(
+                    project.allocation.end,
+                    lambda pid=project.project_id: self._expire(pid))
+            else:
+                self._expire(project.project_id)

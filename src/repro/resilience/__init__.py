@@ -17,6 +17,14 @@ degradation seams in ``cluster.jupyter``, ``oidc.client``,
 """
 
 from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.durability import (
+    Durable,
+    DurabilityStore,
+    JournalEntry,
+    RecoveryReport,
+    ServiceJournal,
+)
+from repro.resilience.failover import FailoverController, FailoverPair
 from repro.resilience.faults import Fault, FaultInjector
 from repro.resilience.overload import (
     AdmissionController,
@@ -38,6 +46,13 @@ __all__ = [
     "CLOSED",
     "OPEN",
     "HALF_OPEN",
+    "Durable",
+    "DurabilityStore",
+    "JournalEntry",
+    "RecoveryReport",
+    "ServiceJournal",
+    "FailoverController",
+    "FailoverPair",
     "Fault",
     "FaultInjector",
     "AdmissionController",

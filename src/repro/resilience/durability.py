@@ -1,0 +1,324 @@
+"""Write-ahead journaling and snapshots for the stateful control plane.
+
+Isambard-AI runs its IAM services (broker, SSH CA, portal, managed IdPs)
+as replicated managed services: process death must not lose sessions,
+serials or the audit chain, and a deposed replica must not keep signing.
+This module gives the simulation the same guarantees, deterministically:
+
+* :class:`ServiceJournal` — one write-ahead stream per service.  Every
+  mutation is appended *before* local state changes (WAL discipline), as
+  a clock-stamped :class:`JournalEntry` whose payload is forced through a
+  JSON round-trip so only plain, replayable data enters the journal.
+* Snapshots — :meth:`ServiceJournal.snapshot` captures the full durable
+  state and truncates the entries it makes redundant; recovery is
+  "load snapshot, replay the tail".
+* Fencing epochs — the journal tracks the epoch of its single legitimate
+  writer.  :meth:`ServiceJournal.acquire_epoch` bumps it (promotion,
+  restart); an append presenting a stale epoch raises
+  :class:`~repro.errors.EpochFenced`, so a deposed primary cannot commit
+  new tokens or certificates even if it is still running (split-brain
+  safety at the durable store, the same way etcd/raft fencing works).
+* The vault — signing keys are *not* serialized into the journal; real
+  deployments keep them in a KMS/HSM that survives pod restarts.
+  :meth:`ServiceJournal.seal` / :meth:`ServiceJournal.unseal` model that:
+  key objects are stashed by reference and re-adopted on recovery, so a
+  recovered (or promoted) issuer signs with the same key material and
+  every pinned public key or captured JWKS stays valid.
+
+:class:`Durable` is the mixin services implement: ``durable_state`` /
+``load_state`` / ``apply_entry`` / ``wipe_state`` plus optional key and
+invariant hooks.  ``recover()`` replays snapshot+journal, charges a
+deterministic simulated replay cost, re-acquires the fencing epoch and
+runs the service's invariant checks (:class:`~repro.errors.RecoveryError`
+on violation).  ``state_hash()`` is a canonical-JSON sha256 of the
+durable state — the determinism/idempotence tests compare these across
+repeated replays.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import SimClock
+from repro.errors import ConfigurationError, EpochFenced, RecoveryError
+
+__all__ = [
+    "JournalEntry",
+    "ServiceJournal",
+    "DurabilityStore",
+    "Durable",
+    "RecoveryReport",
+    "REPLAY_COST_PER_ENTRY",
+    "RESTART_COST",
+]
+
+# deterministic simulated cost of a recovery: a fixed process-restart
+# charge plus a per-entry replay charge (the clock advances by this much
+# inside recover(), so "bounded recovery time" is measurable and real)
+RESTART_COST = 0.005
+REPLAY_COST_PER_ENTRY = 0.0002
+
+
+def _jsonable(data):
+    """Force ``data`` through a JSON round-trip.
+
+    This is the journal's admission filter: only plain, deterministic,
+    replayable values get in.  Live objects (keys, sockets, services)
+    fail loudly here rather than silently pickling state that could not
+    exist on a recovering node.
+    """
+    try:
+        return json.loads(json.dumps(data, sort_keys=True))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"journal payload is not JSON-serializable: {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One committed mutation: (sequence, time, writer epoch, kind, data)."""
+
+    seq: int
+    time: float
+    epoch: int
+    kind: str
+    data: Dict[str, object]
+
+
+class ServiceJournal:
+    """A single service's write-ahead stream inside a :class:`DurabilityStore`."""
+
+    def __init__(self, store: "DurabilityStore", name: str) -> None:
+        self.store = store
+        self.name = name
+        self._entries: List[JournalEntry] = []
+        self._snapshot: Optional[Dict[str, object]] = None
+        self._snapshot_seq = 0
+        self._seq = 0
+        self._epoch = 0
+        self._vault: Dict[str, object] = {}
+        self.appends = 0
+        self.snapshots = 0
+        self.fenced_appends = 0
+
+    # ------------------------------------------------------------- epochs
+    @property
+    def epoch(self) -> int:
+        """Epoch of the journal's current legitimate writer."""
+        return self._epoch
+
+    def acquire_epoch(self) -> int:
+        """Become the journal's writer; every previous holder is fenced."""
+        self._epoch += 1
+        return self._epoch
+
+    # ------------------------------------------------------------- writes
+    def append(self, kind: str, data: Dict[str, object], *,
+               epoch: Optional[int] = None) -> JournalEntry:
+        """Commit one mutation.  ``epoch`` is the writer's fencing epoch;
+        presenting a stale one raises :class:`EpochFenced` (and nothing
+        is written — the deposed writer's mutation never happened)."""
+        if epoch is not None and epoch != self._epoch:
+            self.fenced_appends += 1
+            raise EpochFenced(
+                f"journal {self.name!r}: writer epoch {epoch} is fenced "
+                f"(current epoch is {self._epoch})"
+            )
+        self._seq += 1
+        entry = JournalEntry(
+            seq=self._seq, time=self.store.clock.now(),
+            epoch=self._epoch, kind=kind, data=_jsonable(data),
+        )
+        self._entries.append(entry)
+        self.appends += 1
+        return entry
+
+    def snapshot(self, state: Dict[str, object]) -> None:
+        """Capture the full durable state; truncate the entries it covers."""
+        self._snapshot = _jsonable(state)
+        self._snapshot_seq = self._seq
+        self._entries = [e for e in self._entries if e.seq > self._snapshot_seq]
+        self.snapshots += 1
+
+    # -------------------------------------------------------------- reads
+    def load(self) -> Tuple[Optional[Dict[str, object]], List[JournalEntry]]:
+        """(snapshot-or-None, entries newer than the snapshot), copied."""
+        snap = copy.deepcopy(self._snapshot) if self._snapshot is not None else None
+        return snap, list(self._entries)
+
+    @property
+    def snapshot_seq(self) -> int:
+        return self._snapshot_seq
+
+    def pending_entries(self) -> int:
+        """Entries accumulated since the last snapshot."""
+        return len(self._entries)
+
+    # -------------------------------------------------------------- vault
+    def seal(self, name: str, obj: object) -> None:
+        """Stash key material (KMS/HSM model — survives any crash)."""
+        self._vault[name] = obj
+
+    def unseal(self, name: str) -> Optional[object]:
+        return self._vault.get(name)
+
+
+class DurabilityStore:
+    """The deployment's durable store: one journal stream per service."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._streams: Dict[str, ServiceJournal] = {}
+
+    def stream(self, name: str) -> ServiceJournal:
+        if name not in self._streams:
+            self._streams[name] = ServiceJournal(self, name)
+        return self._streams[name]
+
+    def streams(self) -> Dict[str, ServiceJournal]:
+        return dict(self._streams)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            name: {
+                "appends": j.appends,
+                "snapshots": j.snapshots,
+                "pending": j.pending_entries(),
+                "fenced": j.fenced_appends,
+                "epoch": j.epoch,
+            }
+            for name, j in sorted(self._streams.items())
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """What one ``recover()`` did, for benches and invariant checks."""
+
+    service: str
+    snapshot_seq: int
+    entries_replayed: int
+    epoch: int
+    recovered_at: float
+    duration: float
+    state_hash: str
+
+
+class Durable:
+    """Mixin for services that journal their mutations.
+
+    Subclasses implement the four-method contract below; the mixin
+    provides attach/adopt, the WAL publish helper, ``recover()`` and the
+    canonical state hash.  ``_jpublish`` must be called *before* the
+    corresponding in-memory mutation so that a fenced writer aborts
+    without having changed anything (write-ahead discipline).
+    """
+
+    journal: Optional[ServiceJournal] = None
+    fencing_epoch: int = 0
+    snapshot_every: int = 256  # snapshot cadence, in journal entries
+
+    # --------------------------------------------------- subclass contract
+    def durable_state(self) -> Dict[str, object]:
+        """Full JSON-safe durable state (keys excluded — they are vaulted)."""
+        raise NotImplementedError
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore from a ``durable_state()`` snapshot (called after wipe)."""
+        raise NotImplementedError
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
+        """Replay one journal entry against current state."""
+        raise NotImplementedError
+
+    def wipe_state(self) -> None:
+        """Crash semantics: drop all in-memory state.  Key material is
+        NOT destroyed — it lives in the KMS-modelled vault."""
+        raise NotImplementedError
+
+    def seal_keys(self, journal: ServiceJournal) -> None:
+        """Stash key objects into the vault at attach time (optional)."""
+
+    def adopt_keys(self, journal: ServiceJournal) -> None:
+        """Re-adopt vaulted key objects during recovery (optional)."""
+
+    def verify_recovery(self, report: RecoveryReport) -> None:
+        """Service-specific invariants; raise :class:`RecoveryError`."""
+
+    # ------------------------------------------------------------- attach
+    def attach_journal(self, journal: ServiceJournal) -> None:
+        """Become the journal's writer and baseline-snapshot current state
+        (covers mutations made during construction, before attach)."""
+        self.journal = journal
+        self.fencing_epoch = journal.acquire_epoch()
+        self.seal_keys(journal)
+        journal.snapshot(self.durable_state())
+
+    def adopt_journal(self, journal: ServiceJournal) -> None:
+        """Follow a journal *without* becoming its writer (a standby).
+        The adopter stays fenced (epoch 0) until promotion calls
+        ``recover()``, which acquires a fresh epoch."""
+        self.journal = journal
+        self.fencing_epoch = 0
+
+    # ------------------------------------------------------------ publish
+    def _jpublish(self, kind: str, /, **data: object) -> None:
+        """WAL append for one mutation; no-op when not journaled."""
+        if self.journal is None:
+            return
+        self.journal.append(kind, data, epoch=self.fencing_epoch)
+        if self.journal.pending_entries() >= self.snapshot_every:
+            self.journal.snapshot(self.durable_state())
+
+    # ------------------------------------------------------------ recover
+    def recover(self, *, acquire_epoch: bool = True) -> RecoveryReport:
+        """Rebuild state from snapshot + journal tail.
+
+        ``acquire_epoch=True`` (a restart or a promotion) makes this
+        instance the journal's legitimate writer, fencing any deposed
+        predecessor.  ``acquire_epoch=False`` is a read-only replay — a
+        crashed ex-primary rejoining as standby uses it, so it catches
+        up without stealing the epoch back.
+        """
+        if self.journal is None:
+            raise ConfigurationError(
+                f"{getattr(self, 'name', type(self).__name__)} has no journal "
+                "attached; cannot recover"
+            )
+        clock = self.journal.store.clock
+        started = clock.now()
+        snap, entries = self.journal.load()
+        self.wipe_state()
+        self.adopt_keys(self.journal)
+        if snap is not None:
+            self.load_state(snap)
+        for entry in entries:
+            self.apply_entry(entry.kind, copy.deepcopy(entry.data))
+        if acquire_epoch:
+            self.fencing_epoch = self.journal.acquire_epoch()
+        clock.advance(RESTART_COST + REPLAY_COST_PER_ENTRY * len(entries))
+        report = RecoveryReport(
+            service=getattr(self, "name", self.journal.name),
+            snapshot_seq=self.journal.snapshot_seq,
+            entries_replayed=len(entries),
+            epoch=self.fencing_epoch,
+            recovered_at=clock.now(),
+            duration=clock.now() - started,
+            state_hash=self.state_hash(),
+        )
+        self.verify_recovery(report)
+        return report
+
+    # --------------------------------------------------------------- hash
+    def state_hash(self) -> str:
+        """Canonical sha256 over the durable state (replay determinism)."""
+        canon = json.dumps(
+            _jsonable(self.durable_state()),
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(canon.encode()).hexdigest()

@@ -20,7 +20,10 @@ Supported fault kinds (per endpoint, or per (domain, zone) flow):
 * **latency spike** — messages are delivered but cost extra simulated time;
 * **flap** — the endpoint cycles up/down with a fixed period;
 * **partition** — traffic between two (domain, zone) locations fails in
-  both directions, regardless of endpoint health.
+  both directions, regardless of endpoint health;
+* **crash** — process death with state loss: the endpoint goes down AND
+  its in-memory state is wiped (via a hook the deployment registers), so
+  recovery exercises the durability layer instead of resuming silently.
 
 Injected failures raise :class:`~repro.errors.FaultInjected`, a subclass
 of :class:`~repro.errors.ServiceUnavailable` — clients cannot tell chaos
@@ -43,6 +46,7 @@ BROWNOUT = "brownout"
 LATENCY = "latency"
 FLAP = "flap"
 PARTITION = "partition"
+CRASH = "crash"
 
 
 @dataclass
@@ -101,6 +105,10 @@ class FaultInjector:
         self.injected_failures = 0
         self.injected_latency = 0.0
         self.failures_by_endpoint: Dict[str, int] = {}
+        # crash hooks: endpoint -> (crash_fn, restart_fn), registered by
+        # the deployment (only it knows how to wipe and recover a service)
+        self._crash_hooks: Dict[str, Tuple[object, object]] = {}
+        self.crashes_injected = 0
 
     # ------------------------------------------------------------------
     # scheduling faults
@@ -156,6 +164,49 @@ class FaultInjector:
         return self._add(Fault(PARTITION, None,
                                self.clock.now() if start is None else start,
                                duration, loc_a=tuple(loc_a), loc_b=tuple(loc_b)))
+
+    def register_crash_hooks(self, endpoint: str, crash_fn, restart_fn) -> None:
+        """Teach the injector how to kill and restart ``endpoint``.
+
+        ``crash_fn`` must take the endpoint down and wipe its in-memory
+        state; ``restart_fn`` must bring it back (recovering from the
+        journal if the deployment is durable, cold and empty otherwise).
+        """
+        self._crash_hooks[endpoint] = (crash_fn, restart_fn)
+
+    def crash(self, endpoint: str, *, at: Optional[float] = None,
+              restart_after: Optional[float] = None) -> Fault:
+        """Kill ``endpoint``'s process: down + state wiped.
+
+        ``at`` schedules the kill for a future instant (it then lands in
+        the middle of whatever is in flight — the network re-checks
+        endpoint health after the delivery delay, so a request can fail
+        *mid-request* against the freshly wiped service).
+        ``restart_after`` schedules the restart that many seconds after
+        the crash; omit it to leave the service down until the caller
+        restarts it explicitly.
+        """
+        if endpoint not in self._crash_hooks:
+            raise ConfigurationError(
+                f"no crash hooks registered for endpoint {endpoint!r}")
+        crash_fn, restart_fn = self._crash_hooks[endpoint]
+        start = self.clock.now() if at is None else at
+        fault = self._add(Fault(CRASH, endpoint, start))
+
+        def _fire() -> None:
+            if fault.cleared:
+                return
+            fault.hits += 1
+            self.crashes_injected += 1
+            crash_fn()
+
+        if start <= self.clock.now():
+            _fire()
+        else:
+            self.clock.call_at(start, _fire)
+        if restart_after is not None:
+            self.clock.call_at(start + restart_after, restart_fn)
+        return fault
 
     def clear(self, fault: Optional[Fault] = None) -> None:
         """End one fault, or every scheduled fault."""

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.audit import AuditEvent, AuditLog
 from repro.clock import SimClock
 from repro.errors import ReproError
+from repro.resilience.durability import Durable
 
 __all__ = ["event_to_record", "LogForwarder"]
 
@@ -46,8 +47,15 @@ def event_to_record(event: AuditEvent) -> Dict[str, object]:
     }
 
 
-class LogForwarder:
+class LogForwarder(Durable):
     """Subscribes to audit logs and ships batches to a sink on a timer.
+
+    With a journal attached the buffer is durable across *forwarder
+    crashes* too: every accepted record is journaled before it is
+    buffered, and a successful flush snapshots the (now smaller) buffer,
+    truncating the journal.  A restarted forwarder therefore resumes with
+    every pre-crash record still queued — nothing the emitting services
+    logged before the crash is lost on its way to the SOC.
 
     Parameters
     ----------
@@ -106,7 +114,9 @@ class LogForwarder:
         ):
             self.dropped += 1
             return
-        self._buffer.append(event_to_record(event))
+        record = event_to_record(event)
+        self._jpublish("fw.accept", **record)
+        self._buffer.append(record)
         self._enforce_cap()
 
     def _enforce_cap(self) -> None:
@@ -159,4 +169,38 @@ class LogForwarder:
                 self.lost += len(batch)
             return 0
         self.shipped += len(batch)
+        if self.journal is not None:
+            # a successful ship is the natural checkpoint: snapshot the
+            # residual buffer and truncate the journal behind it
+            self.journal.snapshot(self.durable_state())
         return len(batch)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def durable_state(self) -> Dict[str, object]:
+        return {
+            "buffer": [dict(r) for r in self._buffer],
+            "shipped": self.shipped, "dropped": self.dropped,
+            "lost": self.lost, "sink_failures": self.sink_failures,
+        }
+
+    def wipe_state(self) -> None:
+        self._buffer = []
+        self.shipped = 0
+        self.dropped = 0
+        self.lost = 0
+        self.sink_failures = 0
+        self._running = False
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._buffer = [dict(r) for r in state["buffer"]]
+        self.shipped = int(state["shipped"])
+        self.dropped = int(state["dropped"])
+        self.lost = int(state["lost"])
+        self.sink_failures = int(state["sink_failures"])
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
+        if kind == "fw.accept":
+            self._buffer.append(dict(data))
+            self._enforce_cap()

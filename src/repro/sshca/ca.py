@@ -22,15 +22,25 @@ from repro.broker.rbac import require_capability
 from repro.broker.tokens import RbacTokenValidator
 from repro.clock import SimClock
 from repro.crypto.keys import VerifyingKey, generate_signing_key
-from repro.errors import AuthenticationError, CertificateError
+from repro.errors import AuthenticationError, CertificateError, RecoveryError
 from repro.net.http import HttpRequest, HttpResponse, Service, route
+from repro.resilience.durability import Durable, RecoveryReport, ServiceJournal
 from repro.sshca.certificate import issue_certificate
 
 __all__ = ["SshCertificateAuthority"]
 
 
-class SshCertificateAuthority(Service):
+class SshCertificateAuthority(Service, Durable):
     """Signs short-lived user certificates on the broker's instruction.
+
+    The serial counter and the registry of every issued certificate are
+    durable: each ``/sign`` commits to the write-ahead journal *before*
+    the serial advances, so a recovered CA never reuses a serial
+    (monotonicity is re-verified after every recovery) and the cluster's
+    sshds can check presented serials against the registry — a
+    certificate signed by a fenced ex-primary is simply unknown.  The CA
+    private key itself never enters the journal; it lives in the vault
+    (the HSM of the real deployment).
 
     Parameters
     ----------
@@ -60,6 +70,9 @@ class SshCertificateAuthority(Service):
         self.ca_key = generate_signing_key("EdDSA", kid=f"{name}-ca-key")
         self._serial = 0
         self.certificates_issued = 0
+        # serial -> {key_id, kind, valid_before}; the durable issuance
+        # registry sshds consult when durability is enabled
+        self._issued_certs: Dict[int, Dict[str, object]] = {}
 
     def ca_public_key(self) -> VerifyingKey:
         """The key login nodes trust (provisioned at cluster build time)."""
@@ -73,8 +86,12 @@ class SshCertificateAuthority(Service):
         host keys are enrolled at cluster build time, not over the wire)."""
         from repro.sshca.certificate import issue_host_certificate
 
-        self._serial += 1
         now = self.clock.now()
+        self._jpublish("ca.sign", serial=self._serial + 1, key_id=hostname,
+                       kind="host", valid_before=now + ttl)
+        self._serial += 1
+        self._issued_certs[self._serial] = {
+            "key_id": hostname, "kind": "host", "valid_before": now + ttl}
         wire = issue_host_certificate(
             self.ca_key,
             serial=self._serial,
@@ -110,7 +127,13 @@ class SshCertificateAuthority(Service):
             raise CertificateError("refusing to sign a certificate with no principals")
         ttl = min(ttl, self.max_cert_ttl)
         now = self.clock.now()
+        # WAL before the serial advances: a fenced ex-primary aborts here
+        # with the counter untouched and nothing registered
+        self._jpublish("ca.sign", serial=self._serial + 1, key_id=key_id,
+                       kind="user", valid_before=now + ttl)
         self._serial += 1
+        self._issued_certs[self._serial] = {
+            "key_id": key_id, "kind": "user", "valid_before": now + ttl}
         wire = issue_certificate(
             self.ca_key,
             serial=self._serial,
@@ -137,3 +160,59 @@ class SshCertificateAuthority(Service):
                 "ca_public_key_jwk": public_jwk(self.ca_key.public()),
             }
         )
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def cert_registered(self, serial: int, key_id: str) -> bool:
+        """Is (serial, key_id) in the durable issuance registry?  sshds
+        consult this when durability is on: certificates a fenced
+        ex-primary signed after its deposition were never registered."""
+        rec = self._issued_certs.get(int(serial))
+        return rec is not None and rec["key_id"] == key_id
+
+    def seal_keys(self, journal: ServiceJournal) -> None:
+        journal.seal("ca-key", self.ca_key)
+
+    def adopt_keys(self, journal: ServiceJournal) -> None:
+        sealed = journal.unseal("ca-key")
+        if sealed is not None:
+            self.ca_key = sealed
+
+    def durable_state(self) -> Dict[str, object]:
+        return {
+            "serial": self._serial,
+            "certificates_issued": self.certificates_issued,
+            "issued_certs": {str(s): dict(rec)
+                             for s, rec in self._issued_certs.items()},
+        }
+
+    def wipe_state(self) -> None:
+        self._serial = 0
+        self.certificates_issued = 0
+        self._issued_certs = {}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._serial = int(state["serial"])
+        self.certificates_issued = int(state["certificates_issued"])
+        self._issued_certs = {
+            int(s): dict(rec) for s, rec in state["issued_certs"].items()}
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
+        if kind == "ca.sign":
+            serial = int(data["serial"])
+            self._serial = max(self._serial, serial)
+            self._issued_certs[serial] = {
+                "key_id": data["key_id"], "kind": data["kind"],
+                "valid_before": data["valid_before"],
+            }
+            if data["kind"] == "user":
+                self.certificates_issued += 1
+
+    def verify_recovery(self, report: RecoveryReport) -> None:
+        """Serial monotonicity: the recovered counter must sit at or past
+        every serial ever committed, or the next signature would reuse one."""
+        if self._issued_certs and self._serial < max(self._issued_certs):
+            raise RecoveryError(
+                f"CA {self.name!r}: recovered serial {self._serial} is behind "
+                f"issued serial {max(self._issued_certs)} — reuse imminent")

@@ -76,6 +76,12 @@ class LoginNodeSshd(Service):
 
         self.host_keypair = SshKeyPair.generate()
         self.host_certificate: Optional[str] = None
+        # durability mode: callable ``(serial, key_id) -> bool`` backed by
+        # the CA's journaled issuance registry.  A certificate whose serial
+        # was never durably registered — e.g. one signed by a fenced
+        # ex-primary after its deposition — is refused even though its
+        # signature verifies.  None (the default) keeps seed behaviour.
+        self.cert_registry: Optional[Callable[[int, str], bool]] = None
 
     def install_host_certificate(self, wire: str) -> None:
         """Operator provisioning: the CA-signed certificate for this host."""
@@ -103,6 +109,15 @@ class LoginNodeSshd(Service):
                 reason=str(exc), jump=request.headers.get("X-Jump-Host", ""),
             )
             raise
+        if self.cert_registry is not None and not self.cert_registry(
+                cert.serial, cert.key_id):
+            self.log_event(principal, "ssh.session", "", Outcome.DENIED,
+                reason="unregistered-serial", serial=cert.serial,
+            )
+            raise CertificateError(
+                f"certificate serial {cert.serial} is not in the CA's "
+                "issuance registry"
+            )
         if not self.account_exists(principal):
             self.log_event(principal, "ssh.session", "", Outcome.DENIED,
                 reason="no-such-account",

@@ -1,0 +1,342 @@
+"""Crash-fault tolerance: journaling, recovery, fencing and failover.
+
+Tier-1 coverage for PR 3 (`repro.resilience.durability` + the deployment
+wiring).  The invariants asserted here are the acceptance criteria of
+the crash/recovery ablation (ABL8):
+
+* replay is deterministic and idempotent — recovering twice from the
+  same journal yields bit-identical state hashes;
+* the audit hash chain verifies across a crash boundary;
+* CA serials stay strictly monotonic through crash/restart;
+* a revoked credential is never resurrected by a recovery — and with
+  journaling *off*, it demonstrably is (the negative control);
+* a deposed primary is fenced at the journal (EpochFenced) and its
+  unregistered certificates are refused at the sshd;
+* failover promotes the standby within the controller's budget.
+"""
+
+import pytest
+
+from repro.core import build_isambard
+from repro.errors import ConfigurationError, EpochFenced, ServiceUnavailable
+from repro.net.http import HttpRequest
+from repro.sshca.certificate import SshKeyPair, issue_certificate
+from repro.tunnels.zenith import TOKEN_HEADER
+
+pytestmark = pytest.mark.durability
+
+SERVICES = ("broker", "portal", "ssh-ca", "idp-lastresort")
+
+
+def onboarded(dri):
+    """Standard pre-crash population: a project, a PI, a researcher with
+    an SSH session and a notebook, an admin, and an external user."""
+    wf = dri.workflows
+    s1 = wf.story1_pi_onboarding("pi", project_name="crash-proj")
+    assert s1.ok, s1.steps
+    project_id = str(s1.data["project_id"])
+    assert wf.story2_admin_registration("ops1").ok
+    wf.create_external_user("vendor", "vendor@supplier.example")
+    assert wf.story3_researcher_setup(project_id, "pi", "res1").ok
+    assert wf.story4_ssh_session("res1").ok
+    assert wf.story6_jupyter("res1").ok
+    assert wf.story5_privileged_operation("ops1").ok
+    return project_id
+
+
+def run_all_stories(dri, project_id, suffix):
+    """All six user stories, with fresh personas where the story creates
+    one; returns the list of StoryResults."""
+    wf = dri.workflows
+    return [
+        wf.story1_pi_onboarding(f"pi{suffix}", project_name=f"proj{suffix}"),
+        wf.story2_admin_registration(f"ops{suffix}"),
+        wf.story3_researcher_setup(project_id, "pi", f"res{suffix}"),
+        wf.story4_ssh_session(f"res{suffix}"),
+        wf.story5_privileged_operation(f"ops{suffix}"),
+        wf.story6_jupyter(f"res{suffix}"),
+    ]
+
+
+# ======================================================================
+# journaling + recovery
+# ======================================================================
+def test_replay_is_deterministic_and_idempotent():
+    """Property: recover() is a pure function of the journal — the
+    state hash equals the pre-crash hash, and replaying again (double
+    recovery) reproduces it bit-for-bit."""
+    dri = build_isambard(seed=81, durability=True)
+    project_id = onboarded(dri)
+    assert project_id
+    targets = {
+        "broker": dri.broker,
+        "portal": dri.portal,
+        "ssh-ca": dri.ssh_ca,
+        "idp-lastresort": dri.lastresort,
+        "audit-fds": dri.logs["fds"],
+    }
+    for name, svc in targets.items():
+        before = svc.state_hash()
+        dri.crash(name)
+        report = dri.restart(name)
+        assert report is not None, name
+        assert report.state_hash == before, f"{name}: replay diverged"
+        again = svc.recover()
+        assert again.state_hash == before, f"{name}: replay not idempotent"
+        assert again.entries_replayed == report.entries_replayed
+
+
+def test_crash_recover_every_service_preserves_invariants():
+    """Crash + restart each stateful service in turn, then run all six
+    user stories: nothing the control plane promised is lost."""
+    dri = build_isambard(seed=82, durability=True)
+    wf = dri.workflows
+    project_id = onboarded(dri)
+
+    # a revoked token must stay dead across every recovery
+    minted = wf.mint(wf.personas["pi"], "jupyter", "pi").body
+    revoked_jti = str(minted["jti"])
+    assert dri.broker.tokens.revoke_jti(revoked_jti)
+    serial_before = dri.ssh_ca._serial
+    assert serial_before > 0
+
+    for name in SERVICES:
+        dri.crash(name)
+        # while down, traffic fails loudly (no silent stale answers)
+        if name == "broker":
+            with pytest.raises(ServiceUnavailable):
+                wf.mint(wf.personas["pi"], "jupyter", "pi")
+        report = dri.restart(name)
+        assert report is not None
+        assert report.entries_replayed >= 0
+
+    # the six stories all pass on the recovered control plane
+    results = run_all_stories(dri, project_id, "2")
+    assert all(r.ok for r in results), [
+        (r.story, r.steps) for r in results if not r.ok]
+
+    # security invariants held through every crash
+    assert dri.broker.tokens.is_invalid(revoked_jti)
+    assert dri.ssh_ca._serial > serial_before       # strictly monotonic
+    for log in dri.logs.values():
+        ok, bad = log.verify_chain()
+        assert ok, f"audit chain broke at event {bad} in {log.name}"
+
+
+def test_broker_session_survives_crash():
+    """Sessions are journaled: a logged-in persona keeps working after a
+    broker crash/restart without re-authenticating."""
+    dri = build_isambard(seed=83, durability=True)
+    wf = dri.workflows
+    assert wf.story1_pi_onboarding("olu").ok
+    dri.crash("broker")
+    report = dri.restart("broker")
+    assert report is not None and report.entries_replayed >= 0
+    # same cookies, no fresh login — the recovered broker honours them
+    resp = wf.mint(wf.personas["olu"], "jupyter", "pi")
+    assert resp.ok, resp.body
+
+
+def test_mid_request_crash_fails_inflight_then_recovers():
+    """A crash scheduled to land while a request is in flight drops the
+    connection (audited), and the restarted service serves again."""
+    dri = build_isambard(seed=84, durability=True)
+    wf = dri.workflows
+    assert wf.story1_pi_onboarding("pi").ok
+    dri.faults.crash("broker", at=dri.clock.now() + dri.network.hop_latency / 2)
+    with pytest.raises(ServiceUnavailable):
+        wf.mint(wf.personas["pi"], "jupyter", "pi")
+    assert dri.logs["network"].count(action="endpoint.crashed_inflight") >= 1
+    assert dri.restart("broker") is not None
+    assert wf.mint(wf.personas["pi"], "jupyter", "pi").ok
+
+
+def test_cold_restart_without_journaling_loses_state():
+    """Negative control: durability off means a crash resurrects revoked
+    tokens and forgets sessions — exactly what ABL8 demonstrates."""
+    dri = build_isambard(seed=85)
+    wf = dri.workflows
+    assert wf.story1_pi_onboarding("pi").ok
+    minted = wf.mint(wf.personas["pi"], "jupyter", "pi").body
+    token, jti = str(minted["token"]), str(minted["jti"])
+    assert dri.broker.tokens.revoke_jti(jti)
+    denied = dri.jupyter.handle(
+        HttpRequest("GET", "/", headers={TOKEN_HEADER: token}))
+    assert not denied.ok
+
+    dri.crash("broker")
+    assert dri.restart("broker") is None        # nothing to replay
+    # the revocation list died with the process: signature-based local
+    # validation accepts the revoked token again — the resurrection
+    # journaling exists to prevent
+    assert not dri.broker.tokens.is_revoked(jti)
+    claims = dri.validator_for("jupyter").validate(token)
+    assert str(claims["jti"]) == jti
+    # and the persona's session is gone: the same cookies now bounce
+    assert not wf.mint(wf.personas["pi"], "jupyter", "pi").ok
+
+
+def test_audit_log_crash_preserves_hash_chain():
+    """The audit chain verifies across a crash boundary and keeps
+    extending from the recovered head."""
+    dri = build_isambard(seed=86, durability=True)
+    wf = dri.workflows
+    assert wf.story1_pi_onboarding("pi").ok
+    log = dri.logs["fds"]
+    n_before = len(log)
+    assert n_before > 0
+    dri.crash("audit-fds")
+    assert len(log) == 0
+    report = dri.restart("audit-fds")
+    assert report is not None
+    assert len(log) == n_before
+    ok, bad = log.verify_chain()
+    assert ok, f"chain broke at {bad}"
+    # events recorded after recovery chain onto the recovered head
+    assert wf.mint(wf.personas["pi"], "jupyter", "pi").ok
+    assert len(log) > n_before
+    assert log.verify_chain()[0]
+
+
+def test_forwarder_restart_keeps_pre_crash_events():
+    """Satellite: a forwarder crash does not lose records already
+    accepted from the audit stream — the restarted forwarder replays its
+    journaled buffer and ships everything to the SOC."""
+    dri = build_isambard(seed=87, durability=True)
+    wf = dri.workflows
+    assert wf.story1_pi_onboarding("pi").ok
+    fw = next(f for f in dri.forwarders if f.name == "fw-fds")
+    assert fw.buffered() > 0
+    queued = fw.buffered()
+    ingested_before = dri.soc.records_ingested
+
+    dri.crash("fw-fds")
+    assert fw.buffered() == 0                   # the crash really bit
+    report = dri.restart("fw-fds")
+    assert report is not None
+    assert fw.buffered() == queued              # journal replayed the lot
+
+    # the restarted forwarder is still subscribed: new events buffer too
+    assert wf.mint(wf.personas["pi"], "jupyter", "pi").ok
+    assert fw.buffered() > queued
+    dri.ship_logs()
+    assert fw.buffered() == 0
+    assert fw.lost == 0
+    assert dri.soc.records_ingested > ingested_before
+
+
+def test_unknown_crash_target_is_rejected():
+    dri = build_isambard(seed=88, durability=True)
+    with pytest.raises(ConfigurationError):
+        dri.crash("no-such-service")
+    with pytest.raises(ConfigurationError):
+        dri.restart("no-such-service")
+
+
+# ======================================================================
+# fencing + failover
+# ======================================================================
+def test_failover_promotes_within_budget_and_fences_deposed_broker():
+    dri = build_isambard(seed=89, failover=True)
+    wf = dri.workflows
+    s1 = wf.story1_pi_onboarding("pi", project_name="ha-proj")
+    assert s1.ok
+    project_id = str(s1.data["project_id"])
+    old_broker = dri.broker
+
+    t_crash = dri.clock.now()
+    dri.crash("broker")
+    dri.clock.advance(dri.failover.budget + 0.5)
+
+    pair = dri.failover.pairs["broker"]
+    assert pair.promoted
+    assert dri.broker is not old_broker
+    assert pair.promoted_at - t_crash <= dri.failover.budget
+
+    # the journal fences the deposed primary: its mint aborts with
+    # nothing written (WAL-before-mutation), so no zombie tokens exist
+    with pytest.raises(EpochFenced):
+        old_broker.tokens.mint("zombie", "jupyter", "pi")
+    assert len(old_broker.tokens._issued) == 0  # WAL aborted pre-mutation
+    assert dri.durability.stream("broker").fenced_appends >= 1
+
+    # the promoted standby serves the full workload: existing sessions
+    # (replayed from the journal) and brand-new onboarding both work
+    assert wf.mint(wf.personas["pi"], "jupyter", "pi").ok
+    assert wf.story3_researcher_setup(project_id, "pi", "res-ha").ok
+    assert wf.story6_jupyter("res-ha").ok
+
+
+def test_fenced_ex_primary_certificates_rejected_everywhere():
+    """Regression: even a zombie CA that bypasses the journal entirely
+    (signs locally with the vaulted key) produces certificates the sshd
+    refuses — their serials were never durably registered."""
+    dri = build_isambard(seed=90, failover=True)
+    wf = dri.workflows
+    s1 = wf.story1_pi_onboarding("pi", project_name="fence-proj")
+    assert s1.ok
+    assert wf.story3_researcher_setup(str(s1.data["project_id"]), "pi", "res1").ok
+    s4 = wf.story4_ssh_session("res1")
+    assert s4.ok
+    principal = str(s4.data["principal"])
+    old_ca = dri.ssh_ca
+
+    dri.crash("ssh-ca")
+    dri.clock.advance(dri.failover.budget + 0.5)
+    assert dri.failover.pairs["ssh-ca"].promoted
+    assert dri.ssh_ca is not old_ca
+
+    # layer 1 — the journal: the deposed CA cannot commit a signature
+    with pytest.raises(EpochFenced):
+        old_ca.provision_host_certificate(
+            "evil-host", SshKeyPair.generate().public_jwk())
+
+    # layer 2 — verification: a cert the zombie signs *off the books*
+    # (journal unplugged, real CA key, valid signature) is still refused
+    old_ca.journal = None
+    mallory = SshKeyPair.generate()
+    now = dri.clock.now()
+    forged = issue_certificate(
+        old_ca.ca_key, serial=old_ca._serial + 1000, key_id="mallory",
+        public_key_jwk=mallory.public_jwk(), principals=[principal],
+        valid_after=now, valid_before=now + 3600.0,
+    )
+    sshd = dri.login_sshd
+    challenge = f"{sshd.name}|{principal}".encode()
+    refused = sshd.handle(HttpRequest("POST", "/session", body={
+        "principal": principal, "certificate": forged,
+        "proof": mallory.prove_possession(challenge).hex(),
+    }))
+    assert not refused.ok
+    assert "issuance registry" in str(refused.body)
+
+    # while certificates the *legitimate* lineage signed keep working:
+    # the promoted CA issues, registers, and the sshd admits
+    persona = wf.personas["res1"]
+    assert persona.ssh_client.request_certificate().ok
+    assert wf.story4_ssh_session("res1").ok
+
+
+def test_restart_of_promoted_pair_rejoins_as_fenced_standby():
+    """dri.restart() on a failed-over service brings the ex-primary back
+    as the standby — caught up, parked, and still fenced."""
+    dri = build_isambard(seed=91, failover=True)
+    wf = dri.workflows
+    assert wf.story1_pi_onboarding("pi").ok
+    old_broker = dri.broker
+    dri.crash("broker")
+    dri.clock.advance(dri.failover.budget + 0.5)
+    assert dri.failover.pairs["broker"].promoted
+
+    report = dri.restart("broker")
+    assert report is not None
+    pair = dri.failover.pairs["broker"]
+    assert not pair.promoted                # supervision resumed
+    assert pair.standby is old_broker       # parked as the new standby
+    assert pair.primary is dri.broker
+    assert dri.network.has_endpoint("broker-standby")
+    # caught up on the journal, but still not a legitimate writer
+    with pytest.raises(EpochFenced):
+        old_broker.tokens.mint("zombie", "jupyter", "pi")
+    # and the active broker keeps serving through all of it
+    assert wf.mint(wf.personas["pi"], "jupyter", "pi").ok
