@@ -12,8 +12,41 @@ import pytest
 
 from repro.core import build_isambard
 from repro.core.metrics import format_table, latency_stats
+from repro.telemetry import critical_path_breakdown
 
 COHORTS = (1, 15, 45, 90)
+
+
+def slowest_login_breakdown(dri, result) -> str:
+    """Critical-path table for the slowest login of the cohort.
+
+    The p99 cell in the scale table says *how slow*; this says *where
+    the time went* — per-hop self time down the longest span chain of
+    the worst trace, straight from the telemetry store.
+    """
+    latencies = result.data["latencies"]
+    trace_ids = result.data.get("trace_ids") or []
+    if not latencies or dri.telemetry is None:
+        return ""
+    slowest = max(range(len(latencies)), key=lambda i: latencies[i])
+    trace_id = trace_ids[slowest] if slowest < len(trace_ids) else None
+    if not trace_id:
+        return ""
+    steps = critical_path_breakdown(dri.telemetry.store, trace_id)
+    rows = [
+        [s.name, s.service, s.kind, s.status,
+         f"{s.duration * 1000:.1f}", f"{s.self_time * 1000:.1f}",
+         f"{s.share:.1%}"]
+        for s in steps
+    ]
+    return format_table(
+        ["span", "service", "kind", "status",
+         "total (sim ms)", "self (sim ms)", "share"],
+        rows,
+        title=(f"CRITICAL PATH: slowest login "
+               f"({latencies[slowest] * 1000:.1f} sim ms, "
+               f"trace {trace_id})"),
+    )
 
 
 def run_workshop(n: int, seed: int):
@@ -24,14 +57,17 @@ def run_workshop(n: int, seed: int):
 def test_rsecon_scale(benchmark, report):
     rows = []
     paper_row = None
+    breakdown = ""
     for n in COHORTS:
         if n == 45:
             dri, result = benchmark.pedantic(
                 run_workshop, args=(45, 45), rounds=1, iterations=1)
             paper_row = result
+            breakdown = slowest_login_breakdown(dri, result)
         else:
             dri, result = run_workshop(n, seed=100 + n)
-        stats = latency_stats(result.data["latencies"])
+        stats = latency_stats(result.data["latencies"],
+                              result.data.get("trace_ids"))
         rows.append([
             n,
             f"{n - result.data['failures']}/{n}",
@@ -46,11 +82,13 @@ def test_rsecon_scale(benchmark, report):
 
     assert paper_row is not None and paper_row.ok
     assert paper_row.data["live_sessions"] >= 45
+    assert breakdown, "45-login cohort should yield a traced critical path"
 
-    report("rsecon_scale", format_table(
+    table = format_table(
         ["trainees", "logins ok", "live notebooks",
          "login+spawn p50 (sim ms)", "p95 (sim ms)", "p99 (sim ms)",
          "cluster util"],
         rows,
         title="SCALE: RSECon24 workshop reproduction (§IV.B; paper ran N=45)",
-    ))
+    )
+    report("rsecon_scale", table + "\n\n" + breakdown)

@@ -60,11 +60,14 @@ from repro.resilience import (
     RetryPolicy,
 )
 from repro.siem import (
+    Alert,
     KillSwitchController,
     LogForwarder,
     SecurityOperationsCentre,
+    TraceIntegrityRule,
 )
 from repro.sshca import BastionSet, LoginNodeSshd, SshCertificateAuthority
+from repro.telemetry import Telemetry
 from repro.tunnels import CloudflareEdge, TailnetCoordinator, ZenithClient, ZenithServer
 
 __all__ = ["IsambardDeployment", "build_isambard", "DEFAULT_IDPS"]
@@ -141,6 +144,8 @@ class IsambardDeployment:
     durability: Optional[DurabilityStore] = None
     # active-standby supervision; None unless built with failover=True
     failover: Optional[FailoverController] = None
+    # tracing + metrics + SLO runtime; None when built telemetry=False
+    telemetry: Optional[Telemetry] = None
     # component name -> (crash_fn, restart_fn); populated by the builder
     crash_targets: Dict[str, tuple] = field(default_factory=dict)
     # validator factory honouring failover re-pointing (set by the builder)
@@ -264,6 +269,7 @@ def build_isambard(
     staleness_window: float = 60.0,
     durability: bool = False,
     failover: bool = False,
+    telemetry: bool = True,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
 
@@ -303,16 +309,26 @@ def build_isambard(
     :class:`~repro.resilience.FailoverController`; promotion replays the
     journal, acquires a fresh fencing epoch (deposed primaries can no
     longer commit) and takes over the primary's endpoint name.
+
+    ``telemetry`` (default on) attaches a :class:`~repro.telemetry.Telemetry`
+    runtime: distributed tracing over every hop, RED + domain metrics,
+    and burn-rate SLO monitors bridged into the SOC.  It is pure
+    observation — it never advances the clock or touches the seeded
+    id/secret streams — so disabling it changes no simulated number.
     """
     if failover:
         durability = True
     clock = SimClock(start=0.0)
     ids = IdFactory(seed=seed)
+    tele: Optional[Telemetry] = Telemetry(clock) if telemetry else None
     logs = {
         domain: AuditLog(domain)
         for domain in ("external", "fds", "sws", "mdc", "sec", "network")
     }
     audit = CombinedAuditView(logs)
+    if tele is not None:
+        for log in logs.values():
+            tele.watch_audit(log)
 
     overload_cfg: Optional[OverloadConfig] = None
     if overload:
@@ -328,10 +344,14 @@ def build_isambard(
             overload=overload_cfg,
         )
 
+    if runtime is not None and tele is not None:
+        runtime.breaker_listener = tele.on_breaker_transition
+
     firewall = Firewall(segmented=segmented)
     _open_fig1_flows(firewall)
     network = Network(clock, firewall=firewall, audit=logs["network"],
                       faults=faults)
+    network.telemetry = tele
 
     # ------------------------------------------------------------- federation
     edugain = EduGain()
@@ -624,6 +644,26 @@ def build_isambard(
     # configuration assessment (SOC task 3)
     _register_config_checks(soc, network, bastion, admin_idp, broker, filesystem)
 
+    # --- telemetry: SOC-side trace correlation + SLO pages ---------------
+    if tele is not None:
+        # an audit record whose trace id the span store never saw is a
+        # forged/replayed log entry — runs inside the standard rule pack
+        soc.rules.append(TraceIntegrityRule(tele.store))
+        # availability SLOs over the hops the RSECon story stresses
+        tele.slo("broker-availability", service="broker")
+        tele.slo("jupyter-availability", service="jupyter")
+
+        def _page_soc(alert) -> None:
+            # actor is deliberately empty: an SLO page is not attributable
+            # to a principal and must never trigger auto-containment
+            soc.raise_alert(Alert(
+                time=alert.time, rule=f"slo-burn-{alert.slo}",
+                severity="high", actor="", summary=alert.summary(),
+                evidence_count=alert.events_in_slow_window,
+            ))
+
+        tele.on_slo_alert(_page_soc)
+
     # --- resilience kits: per-client retry/backoff + circuit breakers ----
     if runtime is not None:
         for svc in (broker, portal, zenith, edge, jupyter, zenith_client,
@@ -661,6 +701,7 @@ def build_isambard(
     ca_standby: Optional[SshCertificateAuthority] = None
     if durability:
         store = DurabilityStore(clock)
+        store.telemetry = tele
         for domain, log in logs.items():
             log.attach_journal(store.stream(f"audit-{domain}"))
         broker.attach_journal(store.stream("broker"))
@@ -771,10 +812,11 @@ def build_isambard(
         dcim=dcim, spire=spire,
         faults=faults, resilience=runtime, overload=overload_cfg,
         durability=store, crash_targets=crash_targets,
-        validator_factory=validator_for,
+        validator_factory=validator_for, telemetry=tele,
     )
     if failover:
         failover_ctl = FailoverController(clock, network, audit=logs["sec"])
+        failover_ctl.telemetry = tele
 
         def _promote_broker(standby) -> None:
             active_broker[0] = standby

@@ -10,25 +10,37 @@ benchmark analysis itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 __all__ = ["latency_stats", "format_table", "Timer"]
 
 
-def latency_stats(samples: Sequence[float]) -> Dict[str, float]:
+def latency_stats(samples: Sequence[float],
+                  exemplars: Optional[Sequence[Optional[str]]] = None,
+                  ) -> Dict[str, object]:
     """min/p50/p95/p99/max/mean over a latency sample set (seconds).
 
     The tail percentiles are what the overload studies live on: a
     surge that keeps the median flat while p99 runs away is exactly
     the failure mode admission control is meant to prevent.
+
+    ``exemplars``, when given, is a sequence of trace ids parallel to
+    ``samples``; the result then carries an ``"exemplars"`` dict mapping
+    each tail statistic (p50/p95/p99/max) to the trace id of the sample
+    nearest that value, so a bench table row links straight to the span
+    tree that produced it.
     """
     if not samples:
-        return {"n": 0, "min": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
-                "max": 0.0, "mean": 0.0}
+        stats: Dict[str, object] = {
+            "n": 0, "min": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "max": 0.0, "mean": 0.0}
+        if exemplars is not None:
+            stats["exemplars"] = {}
+        return stats
     arr = np.asarray(samples, dtype=float)
-    return {
+    stats = {
         "n": int(arr.size),
         "min": float(arr.min()),
         "p50": float(np.percentile(arr, 50)),
@@ -37,6 +49,17 @@ def latency_stats(samples: Sequence[float]) -> Dict[str, float]:
         "max": float(arr.max()),
         "mean": float(arr.mean()),
     }
+    if exemplars is not None:
+        if len(exemplars) != len(samples):
+            raise ValueError("exemplars must parallel samples")
+        picked: Dict[str, str] = {}
+        for key in ("p50", "p95", "p99", "max"):
+            idx = int(np.abs(arr - float(stats[key])).argmin())
+            trace_id = exemplars[idx]
+            if trace_id:
+                picked[key] = trace_id
+        stats["exemplars"] = picked
+    return stats
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],

@@ -68,6 +68,9 @@ class Workflows:
         if self.dri.resilience is not None:
             # browsers retry too: give each device its own breaker/metrics
             agent.resilience = self.dri.resilience.for_client(agent.name)
+        if self.dri.telemetry is not None:
+            # every flow this device drives becomes one end-to-end trace
+            agent.tracer = self.dri.telemetry.tracer
         return agent
 
     def create_researcher(
@@ -492,27 +495,37 @@ class Workflows:
         persona = self.personas[researcher_name]
         url = make_url("edge", "/zenith/app", service="jupyter", path="/")
 
-        resp, final = persona.agent.get(url)
-        if resp.status == 401 and resp.body.get("login_required"):
-            # the broker needs an authenticated session first
-            login = self.login(persona)
-            if not login.ok:
-                return StoryResult("story6", False, [f"login failed: {login.body}"])
-            steps.append("identity broker login flow completed")
+        # the whole notebook flow — broker login, portal check, tunnel
+        # dispatch — runs under one root span, so a slow login has one
+        # trace id to pull its critical path by
+        with persona.agent.trace(f"story6 {researcher_name}") as ctx:
+            trace_id = ctx.trace_id if ctx is not None else None
             resp, final = persona.agent.get(url)
-        if not resp.ok:
-            return StoryResult("story6", False, steps + [f"jupyter denied: {resp.body}"])
-        steps.append("portal asserted access; time-limited RBAC token minted and "
-                     "passed as an HTTP header through the Zenith reverse tunnel")
-        steps.append(
-            f"Jupyter authenticator validated the token against the broker's "
-            f"OIDC endpoint; session {resp.body['session_id']} spawned on "
-            f"{resp.body['node']}"
-        )
-        return StoryResult(
-            "story6", True, steps,
-            data=dict(resp.body), elapsed=dri.clock.now() - t0,
-        )
+            if resp.status == 401 and resp.body.get("login_required"):
+                # the broker needs an authenticated session first
+                login = self.login(persona)
+                if not login.ok:
+                    return StoryResult(
+                        "story6", False, [f"login failed: {login.body}"])
+                steps.append("identity broker login flow completed")
+                resp, final = persona.agent.get(url)
+            if not resp.ok:
+                return StoryResult(
+                    "story6", False, steps + [f"jupyter denied: {resp.body}"])
+            steps.append(
+                "portal asserted access; time-limited RBAC token minted and "
+                "passed as an HTTP header through the Zenith reverse tunnel")
+            steps.append(
+                f"Jupyter authenticator validated the token against the "
+                f"broker's OIDC endpoint; session {resp.body['session_id']} "
+                f"spawned on {resp.body['node']}"
+            )
+            data = dict(resp.body)
+            data["trace_id"] = trace_id
+            return StoryResult(
+                "story6", True, steps,
+                data=data, elapsed=dri.clock.now() - t0,
+            )
 
     # ==================================================================
     # §IV.B — the RSECon24 workshop at scale
@@ -530,6 +543,7 @@ class Workflows:
             return StoryResult("rsecon", False, result.steps)
         project_id = str(result.data["project_id"])
         latencies: List[float] = []
+        trace_ids: List[Optional[str]] = []  # parallel to latencies
         failures: List[str] = []
         for i in range(n_trainees):
             name = f"trainee{i:02d}"
@@ -543,6 +557,7 @@ class Workflows:
                 failures.append(f"{name}: notebook — {notebook.steps[-1]}")
                 continue
             latencies.append(dri.clock.now() - start)
+            trace_ids.append(notebook.data.get("trace_id"))
         live = len(dri.jupyter.sessions())
         ok = not failures and live >= n_trainees
         return StoryResult(
@@ -551,7 +566,8 @@ class Workflows:
                    f"notebooks simultaneously ({live} live sessions)"]
             + failures[:5],
             data={"n": n_trainees, "live_sessions": live,
-                  "latencies": latencies, "failures": len(failures),
+                  "latencies": latencies, "trace_ids": trace_ids,
+                  "failures": len(failures),
                   "project_id": project_id},
             elapsed=dri.clock.now() - t0,
         )

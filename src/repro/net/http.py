@@ -14,6 +14,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DeadlineExceeded, RateLimited, ReproError
 from repro.resilience.overload import Priority
+from repro.telemetry.context import (
+    BAGGAGE_HEADER,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    trace_id_from_headers,
+)
+from repro.telemetry.tracing import SpanStatus
 
 __all__ = ["HttpRequest", "HttpResponse", "Service", "route"]
 
@@ -186,6 +193,11 @@ class Service:
         tighter of the two if both are set) and its priority when the
         outbound request carries only the default tag.  A broker hop
         made on behalf of an expiring login therefore expires with it.
+        The trace context propagates the same way: an outbound request
+        with no ``traceparent`` of its own inherits the served request's,
+        and — when the network carries a telemetry runtime — the whole
+        outbound call (including every retry attempt and any breaker
+        short-circuit) is recorded as one client span.
         """
         if self.network is None or self.endpoint is None:
             raise RuntimeError(f"service {self.name} is not attached to a network")
@@ -198,17 +210,76 @@ class Service:
             if (request.priority == Priority.INTERACTIVE
                     and inbound.priority != Priority.INTERACTIVE):
                 request.priority = inbound.priority
-        if self.resilience is not None:
-            return self.resilience.call(
-                lambda: self.network.request(
+            if (TRACEPARENT_HEADER not in request.headers
+                    and TRACEPARENT_HEADER in inbound.headers):
+                request.headers[TRACEPARENT_HEADER] = \
+                    inbound.headers[TRACEPARENT_HEADER]
+                if BAGGAGE_HEADER in inbound.headers:
+                    request.headers[BAGGAGE_HEADER] = \
+                        inbound.headers[BAGGAGE_HEADER]
+
+        tele = getattr(self.network, "telemetry", None)
+        span = None
+        saved_tp = saved_bg = None
+        attempts_before = 0
+        if tele is not None:
+            ctx = TraceContext.extract(request.headers)
+            if ctx is not None:
+                span = tele.tracer.start_span(
+                    f"call {dst}", ctx, service=self.name, kind="client",
+                    dst=dst, path=request.path,
+                )
+                saved_tp = request.headers.get(TRACEPARENT_HEADER)
+                saved_bg = request.headers.get(BAGGAGE_HEADER)
+                ctx.child_of(span.span_id).inject(request.headers)
+                if self.resilience is not None:
+                    attempts_before = self.resilience.metrics.attempts
+        try:
+            if self.resilience is not None:
+                response = self.resilience.call(
+                    lambda: self.network.request(
+                        self.endpoint.name, dst, request, port=port,
+                        encrypted=encrypted,
+                    ),
+                    dst=dst,
+                )
+            else:
+                response = self.network.request(
                     self.endpoint.name, dst, request, port=port,
                     encrypted=encrypted,
-                ),
-                dst=dst,
-            )
-        return self.network.request(
-            self.endpoint.name, dst, request, port=port, encrypted=encrypted
-        )
+                )
+        except BaseException as exc:
+            if span is not None:
+                self._end_call_span(tele, span, attempts_before, error=exc)
+            raise
+        else:
+            if span is not None:
+                status = (SpanStatus.ERROR if response.status >= 500
+                          else SpanStatus.OK)
+                self._end_call_span(tele, span, attempts_before,
+                                    status=status,
+                                    http_status=response.status)
+            return response
+        finally:
+            if span is not None:
+                if saved_tp is None:
+                    request.headers.pop(TRACEPARENT_HEADER, None)
+                else:
+                    request.headers[TRACEPARENT_HEADER] = saved_tp
+                if saved_bg is None:
+                    request.headers.pop(BAGGAGE_HEADER, None)
+                else:
+                    request.headers[BAGGAGE_HEADER] = saved_bg
+
+    def _end_call_span(self, tele, span, attempts_before: int,
+                       **end_kwargs) -> None:
+        """Close a client span, annotating how many transport attempts the
+        resilience kit spent inside it (1 means no retry happened)."""
+        if self.resilience is not None:
+            attempts = self.resilience.metrics.attempts - attempts_before
+            if attempts:
+                span.attrs["attempts"] = attempts
+        tele.tracer.end(span, **end_kwargs)
 
     def routes(self) -> Dict[Tuple[str, str], Callable]:
         return dict(self._routes)
@@ -221,12 +292,21 @@ class Service:
         Requires the subclass to hold ``self.audit`` and ``self.clock``
         (every auditing service in this library does); the domain/zone
         labels come from the attached endpoint so cross-domain incident
-        correlation works.
+        correlation works.  Events emitted while serving a traced request
+        are stamped with its ``trace_id``, which is what lets the SIEM
+        reconstruct a request tree starting from either the span store or
+        the audit trail.
         """
         domain = zone = ""
         if self.endpoint is not None:
             domain = str(self.endpoint.domain)
             zone = str(self.endpoint.zone)
+        if "trace_id" not in attrs:
+            for inbound in reversed(self._serving):
+                tid = trace_id_from_headers(inbound.headers)
+                if tid is not None:
+                    attrs["trace_id"] = tid
+                    break
         return self.audit.record(  # type: ignore[attr-defined]
             self.clock.now(), self.name, actor, action, resource,  # type: ignore[attr-defined]
             outcome, domain=domain, zone=zone, **attrs,

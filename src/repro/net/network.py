@@ -39,8 +39,27 @@ from repro.errors import (
 from repro.net.firewall import Firewall
 from repro.net.http import HttpRequest, HttpResponse, Service
 from repro.net.zones import OperatingDomain, Zone
+from repro.telemetry.context import (
+    BAGGAGE_HEADER,
+    TRACEPARENT_HEADER,
+    TraceContext,
+)
+from repro.telemetry.tracing import SpanStatus
 
 __all__ = ["Endpoint", "Network"]
+
+
+def _hop_outcome(exc: BaseException) -> str:
+    """Transport outcome label for a failed hop (RED metrics taxonomy)."""
+    if isinstance(exc, (ConnectionBlocked, EncryptionRequired)):
+        return "blocked"
+    if isinstance(exc, RateLimited):
+        return "shed"
+    if isinstance(exc, DeadlineExceeded):
+        return "expired"
+    if isinstance(exc, ServiceUnavailable):
+        return "unavailable"
+    return "error"
 
 
 @dataclass
@@ -87,6 +106,11 @@ class Network:
         self.audit = audit if audit is not None else AuditLog("network")
         self.hop_latency = hop_latency
         self.faults = faults
+        # optional repro.telemetry.Telemetry: when set, every hop becomes
+        # a server span (if the request carries a trace context) and an
+        # observation in the RED metrics — pure observation, no timing or
+        # id stream is touched
+        self.telemetry = None
         self._endpoints: Dict[str, Endpoint] = {}
         self.messages_delivered = 0
         self.messages_blocked = 0
@@ -167,13 +191,96 @@ class Network:
         s = self.endpoint(src)
         d = self.endpoint(dst)
 
+        # tracing: when the request carries a trace context, this hop is
+        # a server span.  The span's child context is injected into the
+        # request headers so nested calls the handler makes parent under
+        # this hop; the caller's headers are restored on exit because
+        # resilience retries reuse the same request object — each retry
+        # must re-enter with the caller's context so attempt spans land
+        # as siblings under one client span, never nested in a failed
+        # attempt.
+        tele = self.telemetry
+        span = None
+        trace_attrs: Dict[str, object] = {}
+        saved_tp = request.headers.get(TRACEPARENT_HEADER)
+        saved_bg = request.headers.get(BAGGAGE_HEADER)
+        if tele is not None:
+            ctx = TraceContext.extract(request.headers)
+            if ctx is not None:
+                span = tele.tracer.start_span(
+                    f"{request.method} {dst}{request.path}", ctx,
+                    service=dst, kind="server", src=src, port=port,
+                    path=request.path,
+                    src_zone=f"{s.domain}/{s.zone}",
+                    dst_zone=f"{d.domain}/{d.zone}",
+                )
+                ctx.child_of(span.span_id).inject(request.headers)
+                trace_attrs["trace_id"] = ctx.trace_id
+        t_start = self.clock.now()
+        try:
+            response = self._deliver(
+                s, d, src, dst, request, port=port, encrypted=encrypted,
+                trace_attrs=trace_attrs,
+            )
+        except BaseException as exc:
+            if tele is not None:
+                tele.observe_hop(
+                    src=src, dst=dst, outcome=_hop_outcome(exc),
+                    duration=self.clock.now() - t_start, path=request.path,
+                    trace_id=trace_attrs.get("trace_id"),
+                )
+                if span is not None:
+                    tele.tracer.end(span, error=exc)
+            raise
+        else:
+            if tele is not None:
+                outcome = ("ok" if response.status < 400
+                           else "denied" if response.status < 500
+                           else "error")
+                tele.observe_hop(
+                    src=src, dst=dst, outcome=outcome,
+                    duration=self.clock.now() - t_start, path=request.path,
+                    trace_id=trace_attrs.get("trace_id"),
+                )
+                if span is not None:
+                    status = (SpanStatus.ERROR if response.status >= 500
+                              else SpanStatus.OK)
+                    tele.tracer.end(
+                        span, status=status, http_status=response.status)
+            return response
+        finally:
+            if span is not None:
+                if saved_tp is None:
+                    request.headers.pop(TRACEPARENT_HEADER, None)
+                else:
+                    request.headers[TRACEPARENT_HEADER] = saved_tp
+                if saved_bg is None:
+                    request.headers.pop(BAGGAGE_HEADER, None)
+                else:
+                    request.headers[BAGGAGE_HEADER] = saved_bg
+
+    def _deliver(
+        self,
+        s: Endpoint,
+        d: Endpoint,
+        src: str,
+        dst: str,
+        request: HttpRequest,
+        *,
+        port: int,
+        encrypted: bool,
+        trace_attrs: Dict[str, object],
+    ) -> HttpResponse:
+        """Policy checks + delivery; every audit record carries the
+        request's trace id (when traced) so the SIEM can pivot between
+        the audit trail and the span store."""
         decision = self.firewall.evaluate(s.domain, s.zone, d.domain, d.zone, port)
         if not decision:
             self.messages_blocked += 1
             self.audit.record(
                 self.clock.now(), "network", src, "firewall.deny", dst,
                 Outcome.DENIED, domain=str(d.domain), zone=str(d.zone),
-                port=port, rule=decision.rule,
+                port=port, rule=decision.rule, **trace_attrs,
             )
             raise ConnectionBlocked(
                 f"{src} ({s.domain}/{s.zone}) -> {dst} ({d.domain}/{d.zone}) "
@@ -186,6 +293,7 @@ class Network:
             self.audit.record(
                 self.clock.now(), "network", src, "transport.plaintext_rejected",
                 dst, Outcome.DENIED, domain=str(d.domain), zone=str(d.zone),
+                **trace_attrs,
             )
             raise EncryptionRequired(
                 f"plaintext flow {src} -> {dst} crosses a zone/domain boundary"
@@ -195,6 +303,7 @@ class Network:
             self.audit.record(
                 self.clock.now(), "network", src, "endpoint.unavailable", dst,
                 Outcome.ERROR, domain=str(d.domain), zone=str(d.zone),
+                **trace_attrs,
             )
             raise ServiceUnavailable(f"endpoint {dst} is down")
 
@@ -208,6 +317,7 @@ class Network:
                 path=request.path, priority=request.priority,
                 deadline=request.deadline,
                 overrun=round(self.clock.now() - request.deadline, 6),
+                **trace_attrs,
             )
             raise DeadlineExceeded(
                 f"{src} -> {dst} {request.path}: deadline "
@@ -226,7 +336,7 @@ class Network:
                 self.audit.record(
                     self.clock.now(), "network", src, "fault.injected", dst,
                     Outcome.ERROR, domain=str(d.domain), zone=str(d.zone),
-                    reason=str(exc),
+                    reason=str(exc), **trace_attrs,
                 )
                 raise
 
@@ -239,7 +349,7 @@ class Network:
             self.audit.record(
                 self.clock.now(), "network", src, "endpoint.crashed_inflight",
                 dst, Outcome.ERROR, domain=str(d.domain), zone=str(d.zone),
-                path=request.path,
+                path=request.path, **trace_attrs,
             )
             raise ServiceUnavailable(
                 f"endpoint {dst} crashed while {request.path} was in flight")
@@ -248,7 +358,7 @@ class Network:
             self.clock.now(), "network", src, "message.delivered", dst,
             Outcome.SUCCESS, domain=str(d.domain), zone=str(d.zone),
             port=port, path=request.path, encrypted=encrypted,
-            rule=decision.rule,
+            rule=decision.rule, **trace_attrs,
         )
         try:
             return d.service.handle(request)
@@ -263,6 +373,7 @@ class Network:
                 Outcome.SHED, domain=str(d.domain), zone=str(d.zone),
                 path=request.path, priority=exc.priority or request.priority,
                 service=exc.service or dst, retry_after=exc.retry_after,
+                **trace_attrs,
             )
             raise
         except DeadlineExceeded as exc:
@@ -273,6 +384,6 @@ class Network:
                 self.clock.now(), "network", src, "deadline.expired", dst,
                 Outcome.EXPIRED, domain=str(d.domain), zone=str(d.zone),
                 path=request.path, priority=exc.priority or request.priority,
-                deadline=exc.deadline,
+                deadline=exc.deadline, **trace_attrs,
             )
             raise

@@ -13,8 +13,9 @@ simulated network, and validates ID tokens against the provider's JWKS.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.clock import SimClock
 from repro.crypto import JwkSet, JwtValidator
@@ -26,6 +27,7 @@ from repro.errors import (
 from repro.net.http import HttpRequest, HttpResponse, Service
 from repro.oidc.messages import ClientConfig, make_url, parse_url, pkce_challenge
 from repro.resilience.overload import Priority
+from repro.telemetry.context import TRACEPARENT_HEADER, TraceContext
 
 __all__ = ["UserAgent", "RelyingParty", "FlowState"]
 
@@ -51,6 +53,48 @@ class UserAgent(Service):
         # optional default absolute deadline applied to every request this
         # agent sends (surge drivers set it to "arrival + patience")
         self.deadline: Optional[float] = None
+        # optional repro.telemetry.Tracer: when set, every flow this agent
+        # drives runs under a root span and all hops carry its context
+        self.tracer = None
+        self._trace_ctx: Optional[TraceContext] = None
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def trace(self, name: str, **baggage: str) -> Iterator[Optional[TraceContext]]:
+        """Run a user flow under one root span.
+
+        Everything the agent sends inside the ``with`` block carries the
+        root's context, so a whole login — redirects, broker hops, tunnel
+        dispatches — lands in one connected trace.  Nesting is flat: an
+        inner ``trace()`` joins the outer trace rather than starting a
+        new one.  A no-op when no tracer is attached.
+        """
+        if self.tracer is None or self._trace_ctx is not None:
+            yield self._trace_ctx
+            return
+        span = self.tracer.start_trace(
+            name, service=self.name, kind="internal",
+            baggage=baggage or None,
+        )
+        self._trace_ctx = span.context()
+        try:
+            yield self._trace_ctx
+        except BaseException as exc:
+            self.tracer.end(span, error=exc)
+            raise
+        else:
+            self.tracer.end(span)
+        finally:
+            self._trace_ctx = None
+
+    def call(self, dst: str, request: HttpRequest, **kwargs) -> HttpResponse:
+        # the device end of context propagation: requests minted outside
+        # any serving stack (this *is* the user's device) join the active
+        # flow trace unless the caller already set a context
+        if (self._trace_ctx is not None and not self._serving
+                and TRACEPARENT_HEADER not in request.headers):
+            self._trace_ctx.inject(request.headers)
+        return super().call(dst, request, **kwargs)
 
     # ------------------------------------------------------------------
     def _headers_for(self, endpoint: str) -> Dict[str, str]:
@@ -82,7 +126,32 @@ class UserAgent(Service):
         traffic class; ``deadline`` (absolute simulated time) rides on
         every hop of the flow, so a multi-redirect login expires as a
         whole rather than per hop.
+
+        With a tracer attached, a navigation outside any explicit
+        :meth:`trace` block gets its own root span, so ad-hoc requests
+        are traced too.
         """
+        if self.tracer is not None and self._trace_ctx is None:
+            with self.trace(f"{method} {url}"):
+                return self._navigate(
+                    url, method=method, body=body, headers=headers,
+                    priority=priority, deadline=deadline,
+                )
+        return self._navigate(
+            url, method=method, body=body, headers=headers,
+            priority=priority, deadline=deadline,
+        )
+
+    def _navigate(
+        self,
+        url: str,
+        *,
+        method: str = "GET",
+        body: Optional[Dict[str, object]] = None,
+        headers: Optional[Dict[str, str]] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> Tuple[HttpResponse, str]:
         current, current_method, current_body = url, method, body
         for _hop in range(self.max_hops):
             endpoint, path, params = parse_url(current)

@@ -36,6 +36,9 @@ class CircuitBreaker:
         Simulated seconds to stay OPEN before probing.
     half_open_probes:
         Successful probe calls required in HALF_OPEN to close again.
+    listener:
+        Optional ``(name, from_state, to_state, now)`` callback invoked
+        on every state transition (telemetry counts and gauges these).
     """
 
     def __init__(
@@ -46,12 +49,14 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         recovery_time: float = 30.0,
         half_open_probes: int = 1,
+        listener=None,
     ) -> None:
         self.clock = clock
         self.name = name
         self.failure_threshold = failure_threshold
         self.recovery_time = recovery_time
         self.half_open_probes = half_open_probes
+        self.listener = listener
         self._state = CLOSED
         self._consecutive_failures = 0
         self._probe_successes = 0
@@ -103,6 +108,8 @@ class CircuitBreaker:
         if self._state == OPEN and self._opened_at is not None:
             self._time_in_open += now - self._opened_at
         self.transitions.append((now, self._state, to))
+        if self.listener is not None:
+            self.listener(self.name, self._state, to, now)
         self._state = to
         if to == OPEN:
             self.opens += 1

@@ -173,6 +173,9 @@ class DurabilityStore:
 
     def __init__(self, clock: SimClock) -> None:
         self.clock = clock
+        # optional repro.telemetry.Telemetry (duck-typed to avoid an
+        # import cycle): recoveries report themselves here when set
+        self.telemetry = None
         self._streams: Dict[str, ServiceJournal] = {}
 
     def stream(self, name: str) -> ServiceJournal:
@@ -312,6 +315,9 @@ class Durable:
             state_hash=self.state_hash(),
         )
         self.verify_recovery(report)
+        telemetry = getattr(self.journal.store, "telemetry", None)
+        if telemetry is not None:
+            telemetry.record_recovery(report, started=started)
         return report
 
     # --------------------------------------------------------------- hash

@@ -76,6 +76,9 @@ class FailoverController:
         self.check_interval = check_interval
         self.failure_threshold = failure_threshold
         self.audit = audit
+        # optional repro.telemetry.Telemetry (duck-typed): promotions are
+        # counted and back-filled as spans covering the outage window
+        self.telemetry = None
         self.pairs: Dict[str, FailoverPair] = {}
         self.promotions = 0
         self.probes = 0
@@ -153,6 +156,9 @@ class FailoverController:
         pair.report = report
         self.promotions += 1
         pair.on_promote(pair.standby)
+        if self.telemetry is not None:
+            self.telemetry.record_failover(
+                pair.name, report, down_since=pair.down_since)
         if self.audit is not None:
             from repro.audit import Outcome  # lazy: avoids an import cycle
 

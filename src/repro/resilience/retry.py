@@ -313,6 +313,11 @@ class ResilienceRuntime:
         # with an OverloadConfig, every kit paces its destinations with
         # an AIMD limiter sized from the config
         self.overload = overload
+        # optional (name, from_state, to_state, now) callback wired onto
+        # every breaker this runtime creates; read lazily at breaker
+        # construction, so setting it after kits exist still works (the
+        # breakers themselves are created per-destination on first use)
+        self.breaker_listener = None
         self._clients: Dict[str, Resilience] = {}
 
     def _limiter_factory(self) -> Optional[Callable[[str], AimdLimiter]]:
@@ -339,6 +344,7 @@ class ResilienceRuntime:
                     failure_threshold=self.failure_threshold,
                     recovery_time=self.recovery_time,
                     half_open_probes=self.half_open_probes,
+                    listener=self.breaker_listener,
                 ),
                 limiter_factory=self._limiter_factory(),
             )

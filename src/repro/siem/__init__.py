@@ -12,7 +12,13 @@ from repro.siem.forwarder import LogForwarder, event_to_record
 from repro.siem.inventory import Advisory, Asset, AssetInventory
 from repro.siem.killswitch import KillSwitchController
 from repro.siem.soc import SecurityOperationsCentre
-from repro.siem.timeline import IncidentTimeline, TimelineEntry, build_timeline
+from repro.siem.timeline import (
+    IncidentTimeline,
+    TimelineEntry,
+    build_timeline,
+    build_trace_timeline,
+)
+from repro.siem.tracewatch import TraceAnomalyScanner, TraceIntegrityRule
 
 __all__ = [
     "LogForwarder",
@@ -32,5 +38,8 @@ __all__ = [
     "SecurityOperationsCentre",
     "IncidentTimeline",
     "TimelineEntry",
+    "TraceAnomalyScanner",
+    "TraceIntegrityRule",
     "build_timeline",
+    "build_trace_timeline",
 ]

@@ -43,7 +43,8 @@ def event_to_record(event: AuditEvent) -> Dict[str, object]:
         "domain": event.domain,
         "zone": event.zone,
         "attrs": {k: v for k, v in event.attrs.items()
-                  if k in ("reason", "rule", "port", "via", "node")},
+                  if k in ("reason", "rule", "port", "via", "node",
+                           "trace_id")},
     }
 
 

@@ -127,6 +127,13 @@ class SecurityOperationsCentre(Service):
         alerts = self.ingest_batch(records)
         return HttpResponse.json({"ingested": len(records), "alerts": len(alerts)})
 
+    def raise_alert(self, alert: Alert) -> None:
+        """Accept an alert originated outside the rule pack (burn-rate
+        SLO monitors, the trace anomaly scanner): stored, audited,
+        escalated and — severity permitting — auto-contained exactly
+        like a rule hit."""
+        self._handle_alert(alert)
+
     def _handle_alert(self, alert: Alert) -> None:
         self.alerts.append(alert)
         self.audit.record(

@@ -16,7 +16,8 @@ from typing import Iterable, List, Optional, Set
 
 from repro.audit import AuditEvent
 
-__all__ = ["TimelineEntry", "IncidentTimeline", "build_timeline"]
+__all__ = ["TimelineEntry", "IncidentTimeline", "build_timeline",
+           "build_trace_timeline"]
 
 
 @dataclass(frozen=True)
@@ -135,4 +136,38 @@ def build_timeline(dri, subject: str, *, max_passes: int = 3) -> IncidentTimelin
         for e in sorted(matched, key=lambda e: (e.time, e.source))
     ]
     return IncidentTimeline(subject=subject, correlated_ids=ids,
+                            entries=entries)
+
+
+def build_trace_timeline(dri, trace_id: str) -> IncidentTimeline:
+    """Reconstruct one traced request from the audit trail alone.
+
+    Every audit event emitted while serving a traced request carries its
+    ``trace_id`` attribute (stamped by the transport and by
+    ``Service.log_event``), so the full request tree — every delivered
+    hop, denial, shed and expiry across all domains — can be rebuilt
+    without touching the span store.  This is the audit-side half of the
+    trace↔audit correlation; the span-side half is
+    ``repro.telemetry.analysis``.
+    """
+    matched = [
+        e for e in dri.audit.events()
+        if e.attrs.get("trace_id") == trace_id
+    ]
+    actors = {e.actor for e in matched if e.actor}
+    entries = [
+        TimelineEntry(
+            time=e.time,
+            domain=e.domain,
+            source=e.source,
+            action=e.action,
+            outcome=e.outcome,
+            detail=(f"{e.actor} -> {e.resource}"
+                    + (f" ({e.attrs.get('reason')})"
+                       if e.attrs.get("reason") else "")),
+        )
+        for e in sorted(matched, key=lambda e: (e.time, e.source))
+    ]
+    return IncidentTimeline(subject=trace_id,
+                            correlated_ids={trace_id} | actors,
                             entries=entries)

@@ -1,0 +1,106 @@
+"""W3C-traceparent-style trace context carried in ``HttpRequest.headers``.
+
+One login in the paper's system crosses four operating domains (device →
+edge → broker/OIDC → MDC); the only thing all of those hops share is the
+request headers, so — exactly like the deadline/priority plumbing — the
+trace context rides there.  The encoding follows the W3C Trace Context
+shape (``00-<32 hex trace id>-<16 hex span id>-01``) plus a ``baggage``
+header of ``key=value`` pairs, so the format is recognisable to anyone
+who has read a real traceparent.
+
+The context is immutable; each hop derives a child context
+(:meth:`TraceContext.child_of`) naming its own span as the parent of
+whatever the handler calls next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = ["TraceContext", "TRACEPARENT_HEADER", "BAGGAGE_HEADER",
+           "trace_id_from_headers"]
+
+TRACEPARENT_HEADER = "traceparent"
+BAGGAGE_HEADER = "baggage"
+
+_HEX = set("0123456789abcdef")
+
+
+def _is_hex(value: str, width: int) -> bool:
+    return len(value) == width and set(value) <= _HEX
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in a trace: (trace id, current span, its parent).
+
+    ``trace_id`` is 32 lowercase hex chars, ``span_id`` 16; ``baggage``
+    is small flow-scoped metadata (never secrets) that propagates to
+    every downstream hop unchanged.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    baggage: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ encode
+    def to_traceparent(self) -> str:
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    def inject(self, headers: Dict[str, str]) -> None:
+        """Write this context onto a request's headers."""
+        headers[TRACEPARENT_HEADER] = self.to_traceparent()
+        if self.baggage:
+            headers[BAGGAGE_HEADER] = ",".join(
+                f"{k}={v}" for k, v in sorted(self.baggage.items())
+            )
+
+    # ------------------------------------------------------------ decode
+    @classmethod
+    def from_traceparent(
+        cls, header: str, *, baggage: Optional[Mapping[str, str]] = None
+    ) -> Optional["TraceContext"]:
+        """Parse a traceparent value; ``None`` for anything malformed
+        (a malformed header must degrade to "untraced", never raise)."""
+        parts = header.strip().split("-")
+        if len(parts) != 4:
+            return None
+        version, trace_id, span_id, _flags = parts
+        if version != "00":
+            return None
+        if not _is_hex(trace_id, 32) or not _is_hex(span_id, 16):
+            return None
+        if trace_id == "0" * 32 or span_id == "0" * 16:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id,
+                   baggage=dict(baggage or {}))
+
+    @classmethod
+    def extract(cls, headers: Mapping[str, str]) -> Optional["TraceContext"]:
+        """Read a context out of request headers (``None`` when absent)."""
+        header = headers.get(TRACEPARENT_HEADER)
+        if not header:
+            return None
+        baggage: Dict[str, str] = {}
+        raw = headers.get(BAGGAGE_HEADER, "")
+        if raw:
+            for part in raw.split(","):
+                key, sep, value = part.strip().partition("=")
+                if sep and key:
+                    baggage[key] = value
+        return cls.from_traceparent(header, baggage=baggage)
+
+    # ------------------------------------------------------------- derive
+    def child_of(self, span_id: str) -> "TraceContext":
+        """The context downstream work should carry once ``span_id`` is
+        the active span at this hop."""
+        return TraceContext(trace_id=self.trace_id, span_id=span_id,
+                            parent_id=self.span_id, baggage=self.baggage)
+
+
+def trace_id_from_headers(headers: Mapping[str, str]) -> Optional[str]:
+    """Cheap trace-id peek (for audit stamping) without full validation."""
+    ctx = TraceContext.extract(headers)
+    return ctx.trace_id if ctx is not None else None

@@ -1,0 +1,307 @@
+"""Counter / Gauge / Histogram primitives with labelled series.
+
+The registry is Prometheus-shaped: a metric has a name, a help string,
+and a family of series keyed by sorted ``(label, value)`` tuples.
+Histograms keep cumulative bucket counts plus an *exemplar* per bucket —
+the trace id of the most recent observation that landed there — which is
+what lets the exposition link a p99 tail bucket back to the exact slow
+login that produced it.
+
+Exposition follows the OpenMetrics text format closely enough to be
+read by anyone who has scraped ``/metrics``:
+
+    repro_http_request_duration_seconds_bucket{dst="broker",le="0.5"} 12 # {trace_id="00…"} 0.41 107.2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "Exemplar", "DEFAULT_BUCKETS"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+# Seconds-scale buckets sized for the simulated control plane: hops cost
+# ~5-40 ms, a full federated login O(0.1-10 s) under load.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value the way Prometheus does: integers bare."""
+    if value == int(value):
+        return str(int(value))
+    return repr(round(value, 9))
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """A trace id attached to one histogram observation."""
+
+    trace_id: str
+    value: float
+    time: float
+
+    def render(self) -> str:
+        return (f'# {{trace_id="{self.trace_id}"}} '
+                f"{_fmt(self.value)} {_fmt(self.time)}")
+
+
+class Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def expose(self) -> List[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonic count, one value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self._series.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._series)
+
+    def expose(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for key in sorted(self._series):
+            lines.append(
+                f"{self.name}{_render_labels(key)} {_fmt(self._series[key])}")
+        return lines
+
+
+class Gauge(Metric):
+    """A value that can go up and down (breaker states, live sessions)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._series)
+
+    def expose(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for key in sorted(self._series):
+            lines.append(
+                f"{self.name}{_render_labels(key)} {_fmt(self._series[key])}")
+        return lines
+
+
+@dataclass
+class _HistogramSeries:
+    buckets: List[int]
+    count: int = 0
+    total: float = 0.0
+    exemplars: Dict[int, Exemplar] = field(default_factory=dict)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram with per-bucket exemplars."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def _get(self, key: LabelKey) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(buckets=[0] * (len(self.buckets) + 1))
+            self._series[key] = series
+        return series
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the first bucket whose bound holds ``value``
+        (``len(buckets)`` means the +Inf overflow bucket)."""
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                return i
+        return len(self.buckets)
+
+    def observe(self, value: float, *, trace_id: Optional[str] = None,
+                time: float = 0.0, **labels: str) -> None:
+        series = self._get(_label_key(labels))
+        idx = self.bucket_index(value)
+        series.buckets[idx] += 1
+        series.count += 1
+        series.total += value
+        if trace_id:
+            series.exemplars[idx] = Exemplar(trace_id, value, time)
+
+    def count(self, **labels: str) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: str) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.total if series else 0.0
+
+    def cumulative_buckets(self, **labels: str) -> List[Tuple[str, int]]:
+        """(le, cumulative count) pairs ending with +Inf — bucket math
+        as the exposition renders it."""
+        series = self._series.get(_label_key(labels))
+        counts = series.buckets if series else [0] * (len(self.buckets) + 1)
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, counts):
+            running += n
+            out.append((_fmt(bound), running))
+        out.append(("+Inf", running + counts[-1]))
+        return out
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Bucket-interpolated quantile, Prometheus ``histogram_quantile``
+        style — used by SLO latency checks, not the bench percentiles."""
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        rank = q * series.count
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, series.buckets):
+            if running + n >= rank:
+                if n == 0:
+                    return bound
+                return lower + (bound - lower) * (rank - running) / n
+            running += n
+            lower = bound
+        return self.buckets[-1]
+
+    def tail_exemplars(self, **labels: str) -> List[Exemplar]:
+        """Exemplars from the highest occupied buckets downward."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return []
+        return [series.exemplars[i]
+                for i in sorted(series.exemplars, reverse=True)]
+
+    def series_labels(self) -> List[LabelKey]:
+        return sorted(self._series)
+
+    def expose(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for key in sorted(self._series):
+            series = self._series[key]
+            running = 0
+            for i, bound in enumerate(self.buckets):
+                running += series.buckets[i]
+                line = (f"{self.name}_bucket"
+                        f"{_render_labels(key, [('le', _fmt(bound))])} "
+                        f"{running}")
+                exemplar = series.exemplars.get(i)
+                if exemplar is not None:
+                    line += f" {exemplar.render()}"
+                lines.append(line)
+            running += series.buckets[-1]
+            line = (f"{self.name}_bucket"
+                    f"{_render_labels(key, [('le', '+Inf')])} {running}")
+            exemplar = series.exemplars.get(len(self.buckets))
+            if exemplar is not None:
+                line += f" {exemplar.render()}"
+            lines.append(line)
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} {_fmt(series.total)}")
+            lines.append(
+                f"{self.name}_count{_render_labels(key)} {series.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Namespace of metrics; one per deployment."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _register(self, metric: Metric) -> Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {metric.name!r} already registered "
+                    f"as {existing.kind}")
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram(name, help, buckets))  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def expose(self) -> str:
+        """Full registry in OpenMetrics-style text, alphabetical."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].expose())
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,203 @@
+"""The deployment-wide telemetry runtime.
+
+One :class:`Telemetry` instance per deployment owns the tracer, the span
+store, the metrics registry, and the SLO monitors, and exposes the hook
+points the rest of the library calls:
+
+* ``observe_hop`` — the network transport reports every message outcome
+  here (the RED metrics and availability SLOs are fed from this single
+  choke point, which is also why they cannot disagree with the audit
+  trail: both are emitted from the same code path);
+* ``on_breaker_transition`` — circuit breakers report state changes;
+* ``record_recovery`` / ``record_failover`` — WAL replays and standby
+  promotions become retroactive spans plus domain counters;
+* ``watch_audit`` — a never-raising bridge that derives domain metrics
+  (tokens, certs, tunnels, sheds) from the audit stream itself.
+
+Everything here *observes*: no method advances the simulated clock,
+draws randomness, or mints ids from the deployment's seeded streams, so
+enabling telemetry cannot change any simulated behaviour or number.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.clock import SimClock
+from repro.telemetry.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.telemetry.slo import BurnRateAlert, SloMonitor
+from repro.telemetry.tracing import SpanStatus, SpanStore, Tracer
+
+__all__ = ["Telemetry", "ERROR_OUTCOMES"]
+
+# hop outcomes that count against an availability SLO: policy refusals
+# ("denied", "blocked") are the system working as intended; overload and
+# infrastructure failures are not.
+ERROR_OUTCOMES = ("error", "unavailable", "shed", "expired")
+
+_BREAKER_STATE_VALUE = {"closed": 0.0, "half-open": 0.5, "open": 1.0}
+
+
+class Telemetry:
+    """Tracer + metrics registry + SLO monitors for one deployment."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.tracer = Tracer(clock)
+        self.store: SpanStore = self.tracer.store
+        self.registry = MetricsRegistry()
+        self.bridge_errors = 0  # audit-bridge exceptions swallowed
+
+        r = self.registry
+        # RED metrics on the serving stack (labelled by destination)
+        self.hop_requests = r.counter(
+            "repro_http_requests_total",
+            "Messages offered to the transport, by destination and outcome")
+        self.hop_errors = r.counter(
+            "repro_http_request_errors_total",
+            "Messages that failed for non-policy reasons (error/unavailable/"
+            "shed/expired)")
+        self.hop_duration = r.histogram(
+            "repro_http_request_duration_seconds",
+            "Wall-clock (simulated) seconds from transport accept to "
+            "response, with trace exemplars", buckets=DEFAULT_BUCKETS)
+        # domain metrics
+        self.tokens_issued = r.counter(
+            "repro_tokens_issued_total", "Access tokens minted by the broker")
+        self.tokens_revoked = r.counter(
+            "repro_tokens_revoked_total", "Access tokens revoked")
+        self.certs_signed = r.counter(
+            "repro_ssh_certs_signed_total", "SSH certificates signed by the CA")
+        self.tunnels_enrolled = r.counter(
+            "repro_tunnels_enrolled_total", "Zenith tunnel registrations")
+        self.sheds = r.counter(
+            "repro_admission_shed_total", "Requests shed by admission control")
+        self.deadline_expired = r.counter(
+            "repro_deadline_expired_total", "Requests abandoned past deadline")
+        self.journal_replays = r.counter(
+            "repro_journal_replays_total", "recover() runs, by service")
+        self.journal_entries_replayed = r.counter(
+            "repro_journal_entries_replayed_total",
+            "WAL entries replayed across all recoveries")
+        self.failovers = r.counter(
+            "repro_failover_promotions_total", "Standby promotions")
+        self.breaker_transitions = r.counter(
+            "repro_breaker_transitions_total",
+            "Circuit breaker state transitions, by breaker and target state")
+        self.breaker_state = r.gauge(
+            "repro_breaker_state",
+            "Breaker state (0 closed, 0.5 half-open, 1 open)")
+
+        self._slos: Dict[str, SloMonitor] = {}
+        self._slos_by_service: Dict[str, List[SloMonitor]] = {}
+        self._slo_callbacks: List[Callable[[BurnRateAlert], None]] = []
+
+    # ------------------------------------------------------------ serving
+    def observe_hop(self, *, src: str, dst: str, outcome: str, duration: float,
+                    path: str = "", trace_id: Optional[str] = None) -> None:
+        """One transport-level message finished with ``outcome``
+        (ok/denied/blocked/unavailable/error/shed/expired)."""
+        self.hop_requests.inc(dst=dst, outcome=outcome)
+        failed = outcome in ERROR_OUTCOMES
+        if failed:
+            self.hop_errors.inc(dst=dst, outcome=outcome)
+        self.hop_duration.observe(
+            duration, trace_id=trace_id, time=self.clock.now(), dst=dst)
+        for monitor in self._slos_by_service.get(dst, ()):
+            monitor.record(self.clock.now(), not failed)
+
+    # --------------------------------------------------------- resilience
+    def on_breaker_transition(self, name: str, from_state: str, to_state: str,
+                              now: float) -> None:
+        self.breaker_transitions.inc(breaker=name, to=to_state)
+        self.breaker_state.set(
+            _BREAKER_STATE_VALUE.get(to_state, -1.0), breaker=name)
+
+    def record_recovery(self, report, *, started: float) -> None:
+        """A ``Durable.recover()`` completed: count it and back-fill a span
+        covering the replay window (reports carry simulated times)."""
+        self.journal_replays.inc(service=report.service)
+        if report.entries_replayed:
+            self.journal_entries_replayed.inc(
+                report.entries_replayed, service=report.service)
+        self.tracer.record(
+            f"recover {report.service}", start=started,
+            end=report.recovered_at, service=report.service, kind="internal",
+            status=SpanStatus.OK, entries_replayed=report.entries_replayed,
+            snapshot_seq=report.snapshot_seq, epoch=report.epoch,
+        )
+
+    def record_failover(self, name: str, report, *,
+                        down_since: Optional[float] = None) -> None:
+        """A standby promotion completed; the span covers detected-down
+        through serving-again (the availability gap the SOC cares about)."""
+        self.failovers.inc(service=name)
+        start = down_since if down_since is not None \
+            else report.recovered_at - report.duration
+        self.tracer.record(
+            f"failover.promote {name}", start=start, end=report.recovered_at,
+            service=name, kind="internal", status=SpanStatus.OK,
+            standby=report.service, epoch=report.epoch,
+            entries_replayed=report.entries_replayed,
+        )
+
+    # -------------------------------------------------------- audit bridge
+    def watch_audit(self, log) -> None:
+        """Derive domain metrics from an audit log's live stream.
+
+        The bridge swallows its own exceptions: :class:`AuditLog` detaches
+        subscribers that raise, and losing telemetry must never cost the
+        deployment its metrics silently mid-run.
+        """
+        log.subscribe(self._on_audit_event)
+
+    # action -> (counter attribute, label key) for simple count-throughs
+    _AUDIT_COUNTERS = {
+        "rbac.mint": ("tokens_issued", "source"),
+        "rbac.revoke": ("tokens_revoked", "source"),
+        "rbac.revoke_subject": ("tokens_revoked", "source"),
+        "ca.sign": ("certs_signed", "source"),
+        "ca.sign_host": ("certs_signed", "source"),
+        "zenith.register": ("tunnels_enrolled", "source"),
+        "admission.shed": ("sheds", "source"),
+        "deadline.expired": ("deadline_expired", "source"),
+    }
+
+    def _on_audit_event(self, event) -> None:
+        try:
+            entry = self._AUDIT_COUNTERS.get(event.action)
+            if entry is not None:
+                counter_name, label = entry
+                getattr(self, counter_name).inc(
+                    **{label: getattr(event, label, "")})
+        except Exception:
+            self.bridge_errors += 1
+
+    # ---------------------------------------------------------------- SLO
+    def slo(self, name: str, *, service: str, objective: float = 0.99,
+            **kwargs) -> SloMonitor:
+        """Create (or fetch) a burn-rate monitor over ``service``'s hops."""
+        monitor = self._slos.get(name)
+        if monitor is None:
+            monitor = SloMonitor(name, service=service, objective=objective,
+                                 **kwargs)
+            monitor.subscribe(self._dispatch_slo_alert)
+            self._slos[name] = monitor
+            self._slos_by_service.setdefault(service, []).append(monitor)
+        return monitor
+
+    def slos(self) -> Dict[str, SloMonitor]:
+        return dict(self._slos)
+
+    def on_slo_alert(self, callback: Callable[[BurnRateAlert], None]) -> None:
+        """Subscribe (e.g. the SOC) to every monitor's pages."""
+        self._slo_callbacks.append(callback)
+
+    def _dispatch_slo_alert(self, alert: BurnRateAlert) -> None:
+        for callback in list(self._slo_callbacks):
+            callback(alert)
+
+    # ---------------------------------------------------------- exposition
+    def exposition(self) -> str:
+        """The whole registry in Prometheus-style text."""
+        return self.registry.expose()

@@ -27,6 +27,8 @@ from repro.clock import SimClock
 from repro.errors import RateLimited, ServiceUnavailable
 from repro.net.http import HttpRequest, HttpResponse, Service
 from repro.resilience.overload import Priority
+from repro.telemetry.context import TraceContext
+from repro.telemetry.tracing import SpanStatus
 
 __all__ = ["CloudflareEdge"]
 
@@ -165,8 +167,34 @@ class CloudflareEdge(Service):
             inner.headers["CF-Connecting-IP"] = source
             self.requests_passed += 1
             # delivery over the origin's reverse tunnel (client-initiated,
-            # so no inbound firewall opening is involved)
-            return origin.handle(inner)
+            # so no inbound firewall opening is involved); the dispatch
+            # bypasses Network.request, so it records its own span — the
+            # via tag is what exempts this boundary crossing from the
+            # SIEM's no-matching-firewall-edge anomaly rule
+            tele = getattr(self.network, "telemetry", None) \
+                if self.network is not None else None
+            span = None
+            if tele is not None:
+                ctx = TraceContext.extract(inner.headers)
+                if ctx is not None:
+                    span = tele.tracer.start_span(
+                        f"tunnel {origin_name}", ctx, service=self.name,
+                        kind="tunnel", via="reverse-tunnel",
+                        origin=origin_name, path=inner_path,
+                    )
+                    ctx.child_of(span.span_id).inject(inner.headers)
+            try:
+                response = origin.handle(inner)
+            except BaseException as exc:
+                if span is not None:
+                    tele.tracer.end(span, error=exc)
+                raise
+            if span is not None:
+                status = (SpanStatus.ERROR if response.status >= 500
+                          else SpanStatus.OK)
+                tele.tracer.end(span, status=status,
+                                http_status=response.status)
+            return response
         finally:
             self._serving.pop()
             if admitted:

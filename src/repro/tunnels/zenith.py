@@ -35,6 +35,7 @@ from repro.ids import IdFactory
 from repro.net.http import HttpRequest, HttpResponse, Service, route
 from repro.oidc.client import RelyingParty
 from repro.oidc.messages import ClientConfig, make_url
+from repro.telemetry.context import BAGGAGE_HEADER, TRACEPARENT_HEADER
 
 __all__ = ["ZenithClient", "ZenithServer", "TunnelRecord"]
 
@@ -232,12 +233,22 @@ class ZenithServer(Service):
             self._pending[flow.state] = {"service": service, "path": path}
             return HttpResponse.redirect(url)
 
+        # the tunnel-dispatched inner request must keep the originating
+        # request's context: the zenith client delivers it from an empty
+        # serving stack, so nothing downstream can re-inherit priority,
+        # deadline or trace — dropping them here made shed/expired
+        # outcomes on the upstream hop lose their attribution entirely
         inner = HttpRequest(
             "GET", path,
             headers={TOKEN_HEADER: str(session["token"])},
             query={k: v for k, v in request.query.items()
                    if k not in ("service", "path")},
+            priority=request.priority,
+            deadline=request.deadline,
         )
+        for header in (TRACEPARENT_HEADER, BAGGAGE_HEADER):
+            if header in request.headers:
+                inner.headers[header] = request.headers[header]
         self.requests_routed += 1
         self.log_event(str(session["sub"]), "zenith.route", service,
             Outcome.SUCCESS, path=path,
