@@ -39,8 +39,9 @@ class Outcome:
     INFO = "info"
     SHED = "shed"          # dropped by admission control / load shedding
     EXPIRED = "expired"    # deadline passed before the work could be served
+    CACHED = "cached"      # decision served from a cache, not fresh work
 
-    ALL = (SUCCESS, DENIED, ERROR, INFO, SHED, EXPIRED)
+    ALL = (SUCCESS, DENIED, ERROR, INFO, SHED, EXPIRED, CACHED)
 
 
 @dataclass(frozen=True)

@@ -470,6 +470,10 @@ class IdentityBroker(OidcProvider):
             if hit:
                 self._jpublish("broker.revoke_access", subject=uid, jtis=hit)
             self._revoked_jtis.update(hit)
+            if self.invalidation_bus is not None:
+                for jti in hit:
+                    self.invalidation_bus.publish("token.revoked", key=jti,
+                                                  subject=uid)
             revoked_access = len(hit)
         self._audit("system", "access.revoked", uid, Outcome.INFO,
                     project=project or "*", rbac=revoked_tokens,

@@ -22,7 +22,12 @@ from repro.clock import SimClock
 from repro.crypto import JwtValidator, encode_jwt
 from repro.crypto.keys import HmacKey, SigningKey
 from repro.broker.rbac import Role, capabilities_for
-from repro.errors import AuthorizationError, TokenRevoked
+from repro.errors import (
+    AudienceMismatch,
+    AuthorizationError,
+    TokenExpired,
+    TokenRevoked,
+)
 from repro.ids import IdFactory
 
 __all__ = ["IssuedToken", "TokenService", "RbacTokenValidator"]
@@ -76,6 +81,12 @@ class TokenService:
         # local state changes — a fenced ex-primary aborts here, having
         # registered nothing
         self.publish: Optional[Callable[[str, Dict[str, object]], None]] = None
+        # invalidation hook: when the deployment runs the scale-out
+        # subsystem this is its repro.scale.cache.InvalidationBus; every
+        # revocation is published (synchronously, before the revocation
+        # call returns) so no replica cache still holds the token by the
+        # time anyone observes the revocation
+        self.bus = None
 
     # ------------------------------------------------------------------
     # minting
@@ -151,9 +162,11 @@ class TokenService:
         if self.publish is not None:
             self.publish("rbac.revoke", {"jti": jti})
         self._revoked.add(jti)
+        if self.bus is not None:
+            self.bus.publish("token.revoked", key=jti)
         self.audit.record(
             self.clock.now(), "token-service", "system", "rbac.revoke", jti,
-            Outcome.INFO,
+            Outcome.INFO, jti=jti,
         )
         return True
 
@@ -176,6 +189,9 @@ class TokenService:
             self.publish("rbac.revoke_subject",
                          {"subject": subject, "jtis": hit})
         self._revoked.update(hit)
+        if self.bus is not None:
+            for jti in hit:
+                self.bus.publish("token.revoked", key=jti, subject=subject)
         n = len(hit)
         if n:
             self.audit.record(
@@ -272,7 +288,20 @@ class RbacTokenValidator:
     a callable ``jti -> bool``.  In the deployment that callable is either
     ``token_service.is_revoked`` (co-located) or a network introspection
     round-trip (remote resources).
+
+    With a ``cache`` (a :class:`repro.scale.cache.TtlCache`, usually
+    shared by every resource server of a deployment), the *signature*
+    verification is amortised: a token seen before is served from the
+    cache, and the validator sets ``last_hit`` so the caller can stamp
+    the decision with the ``CACHED`` audit outcome.  The cache only ever
+    amortises the crypto — expiry, audience and **revocation** are
+    re-checked on every call, cached or not, so a cached ALLOW can never
+    outlive a revocation even before the invalidation bus evicts it.
+    Entries are tagged with the token's ``jti`` for exactly that bus
+    eviction.
     """
+
+    REQUIRED_CLAIMS = ("sub", "role", "caps", "jti")
 
     def __init__(
         self,
@@ -283,15 +312,50 @@ class RbacTokenValidator:
         revocation: Callable[[str], bool],
         *,
         leeway: float = 5.0,
+        cache=None,
     ) -> None:
+        self.clock = clock
+        self.audience = audience
+        self.leeway = leeway
+        self.cache = cache
+        self.last_hit = False
         self._jwt = JwtValidator(
             clock, issuer, audience, keys, leeway=leeway,
-            required_claims=("sub", "role", "caps", "jti"),
+            required_claims=self.REQUIRED_CLAIMS,
+        )
+        # audience-free variant for the cached path: one shared cache
+        # serves every resource server, so the audience binding must be
+        # re-checked per validator, not baked into the cached claims
+        self._sig = JwtValidator(
+            clock, issuer, None, keys, leeway=leeway,
+            required_claims=self.REQUIRED_CLAIMS,
         )
         self._revocation = revocation
 
     def validate(self, token: str) -> Dict[str, object]:
-        claims = self._jwt.validate(token)
+        self.last_hit = False
+        if self.cache is None:
+            claims = self._jwt.validate(token)
+        else:
+            now = self.clock.now()
+            claims = self.cache.get_or_load(
+                token,
+                lambda: self._sig.validate(token),
+                ttl_of=lambda c: float(c["exp"]) + self.leeway - now,
+                tags_of=lambda c: (str(c["jti"]),),
+            )
+            self.last_hit = self.cache.last_hit
+            # continuous verification: only the signature crypto was
+            # amortised — time and audience are policy, re-checked fresh
+            if now > float(claims["exp"]) + self.leeway:
+                raise TokenExpired(
+                    f"token expired at t={claims['exp']}, now t={now:.1f}")
+            aud = claims.get("aud")
+            auds = (aud,) if isinstance(aud, str) else (aud or ())
+            if self.audience not in auds:
+                raise AudienceMismatch(
+                    f"token audience {aud!r} does not include "
+                    f"{self.audience!r}")
         jti = str(claims["jti"])
         if self._revocation(jti):
             raise TokenRevoked(f"token {jti} has been revoked")

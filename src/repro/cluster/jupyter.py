@@ -109,6 +109,17 @@ class JupyterService(Service):
         self.spawns = 0
         self.degraded_validations = 0
         self.degraded_rejections = 0
+        # scale mode: a repro.scale.cache.TtlCache of *positive*
+        # introspection verdicts, keyed and tagged by jti and bound to
+        # the deployment's "token.revoked" invalidation topic.  Unlike
+        # the local-validation caches, the network round-trip being
+        # amortised here IS the revocation check — safety rests on the
+        # bus evicting the jti synchronously inside the revocation call,
+        # plus the short TTL as a backstop for unsubscribed operation.
+        # Negative verdicts are never cached: TokenRevoked propagates
+        # uncached so a refusal is always a fresh broker verdict.
+        self.introspection_cache = None
+        self.introspection_hit = False
 
     # ------------------------------------------------------------------
     def _introspect(self, token: str, jti: str, subject: str) -> None:
@@ -119,18 +130,37 @@ class JupyterService(Service):
         """
         if self.broker_endpoint is None:
             return
+        self.introspection_hit = False
+        if self.introspection_cache is not None:
+            try:
+                self.introspection_cache.get_or_load(
+                    jti,
+                    lambda: self._introspect_upstream(token, jti),
+                    tags_of=lambda _verdict: (jti,),
+                )
+            except ServiceUnavailable as exc:
+                self._validate_degraded(jti, subject, exc)
+                return
+            self.introspection_hit = self.introspection_cache.last_hit
+            return
         try:
-            resp = self.call(
-                self.broker_endpoint,
-                HttpRequest("POST", "/introspect", body={"token": token}),
-            )
+            self._introspect_upstream(token, jti)
         except ServiceUnavailable as exc:
             self._validate_degraded(jti, subject, exc)
-            return
+
+    def _introspect_upstream(self, token: str, jti: str) -> bool:
+        """The actual broker round-trip; also feeds the degraded-mode
+        verdict store so stale-window fallback keeps working when the
+        scale cache is in front."""
+        resp = self.call(
+            self.broker_endpoint,
+            HttpRequest("POST", "/introspect", body={"token": token}),
+        )
         active = resp.ok and resp.body.get("active") is True
         self._introspection_cache[jti] = (self.clock.now(), active)
         if not active:
             raise TokenRevoked("broker introspection reports token inactive")
+        return True
 
     def _validate_degraded(self, jti: str, subject: str,
                            cause: ServiceUnavailable) -> None:
@@ -170,6 +200,13 @@ class JupyterService(Service):
         subject = str(claims["sub"])
         self._introspect(token, str(claims["jti"]), subject)
         account = str(claims.get("unix_account", ""))
+        # scale mode: flag decisions that rode a replica cache (local
+        # signature cache or the shared introspection-verdict cache) so
+        # the SOC staleness oracle can cross-check them; seed mode never
+        # emits this event
+        if getattr(self.validator, "last_hit", False) or self.introspection_hit:
+            self.log_event(subject, "jupyter.auth", str(claims["jti"]),
+                           Outcome.CACHED, jti=str(claims["jti"]))
 
         session = self._live_session(subject)
         if session is None:

@@ -27,7 +27,13 @@ from typing import Dict, List, Optional, Union
 from repro.audit import AuditLog, CombinedAuditView
 from repro.broker import IdentityBroker, RbacTokenValidator, Role
 from repro.clock import SimClock
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ClaimMissing,
+    ConfigurationError,
+    IssuerMismatch,
+    SignatureInvalid,
+    TokenExpired,
+)
 from repro.cluster import (
     JupyterService,
     ManagementNode,
@@ -58,6 +64,17 @@ from repro.resilience import (
     OverloadConfig,
     ResilienceRuntime,
     RetryPolicy,
+)
+from repro.scale import (
+    Autoscaler,
+    ConsistentHashPolicy,
+    InvalidationBus,
+    LeastOutstandingPolicy,
+    LoadBalancer,
+    ReplicaPool,
+    RoundRobinPolicy,
+    ScaleConfig,
+    TtlCache,
 )
 from repro.siem import (
     Alert,
@@ -150,6 +167,13 @@ class IsambardDeployment:
     crash_targets: Dict[str, tuple] = field(default_factory=dict)
     # validator factory honouring failover re-pointing (set by the builder)
     validator_factory: Optional[object] = None
+    # horizontal scale-out (repro.scale); all None/empty unless scale on
+    scale: Optional[ScaleConfig] = None
+    broker_pool: Optional[ReplicaPool] = None
+    broker_lb: Optional[LoadBalancer] = None
+    invalidation_bus: Optional[InvalidationBus] = None
+    caches: Dict[str, TtlCache] = field(default_factory=dict)
+    autoscaler: Optional[Autoscaler] = None
 
     # ------------------------------------------------------------------
     def validator_for(self, audience: str) -> RbacTokenValidator:
@@ -270,6 +294,7 @@ def build_isambard(
     durability: bool = False,
     failover: bool = False,
     telemetry: bool = True,
+    scale: Union[bool, ScaleConfig] = False,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
 
@@ -315,6 +340,18 @@ def build_isambard(
     and burn-rate SLO monitors bridged into the SOC.  It is pure
     observation — it never advances the clock or touches the seeded
     id/secret streams — so disabling it changes no simulated number.
+
+    ``scale`` turns on the horizontal scale-out subsystem (PR 5): the
+    broker runs as a :class:`~repro.scale.ReplicaPool` of stateless
+    workers behind a deterministic :class:`~repro.scale.LoadBalancer`
+    that takes over the public ``broker`` endpoint name (the origin
+    moves to ``broker-origin``), and the hot validation paths — RBAC
+    signature checks, RP JWKS fetches, Jupyter introspection verdicts
+    and SSH certificate parsing — share TTL caches with single-flight
+    coalescing, all subscribed to one :class:`~repro.scale.InvalidationBus`
+    so token revocations and JWKS rotations evict synchronously, before
+    the revoking call returns.  Pass a :class:`~repro.scale.ScaleConfig`
+    to size the pool/TTLs or enable the metric-driven autoscaler.
     """
     if failover:
         durability = True
@@ -334,6 +371,10 @@ def build_isambard(
     if overload:
         overload_cfg = (overload if isinstance(overload, OverloadConfig)
                         else OverloadConfig())
+
+    scale_cfg: Optional[ScaleConfig] = None
+    if scale:
+        scale_cfg = scale if isinstance(scale, ScaleConfig) else ScaleConfig()
 
     faults = FaultInjector(clock, random.Random(seed * 7919 + 13))
     runtime: Optional[ResilienceRuntime] = None
@@ -399,6 +440,46 @@ def build_isambard(
     # validator built here keeps consulting the *active* broker
     active_broker: List[IdentityBroker] = [broker]
 
+    # --- scale-out: invalidation bus + shared caches ---------------------
+    # Built before the validators so every resource server shares them.
+    # Publication is synchronous and in-order (inside the revoking call),
+    # so a cached ALLOW can never outlive a revocation or a key rotation.
+    bus: Optional[InvalidationBus] = None
+    token_cache = jwks_cache = introspect_cache = cert_cache = None
+    if scale_cfg is not None:
+        bus = InvalidationBus(clock)
+        broker.tokens.bus = bus
+        broker.invalidation_bus = bus
+        for provider in (myaccessid, lastresort, admin_idp, *idps.values()):
+            provider.invalidation_bus = bus
+        if scale_cfg.caching:
+            token_cache = TtlCache(
+                "token-decisions", clock, ttl=scale_cfg.decision_ttl,
+                negative_ttl=scale_cfg.negative_ttl,
+                # only monotone verdicts are negative-cached: a forged or
+                # expired token stays forged/expired; a not-yet-valid one
+                # does not, so TokenNotYetValid is deliberately absent
+                negative_errors=(SignatureInvalid, IssuerMismatch,
+                                 ClaimMissing, TokenExpired),
+                telemetry=tele,
+            )
+            token_cache.bind(bus, "token.revoked", by_tag=True)
+            jwks_cache = TtlCache("jwks", clock, ttl=scale_cfg.jwks_ttl,
+                                  telemetry=tele)
+            jwks_cache.bind(bus, "jwks.rotated", by_tag=False)
+            introspect_cache = TtlCache(
+                "introspection", clock, ttl=scale_cfg.introspection_ttl,
+                telemetry=tele,
+            )
+            introspect_cache.bind(bus, "token.revoked", by_tag=True)
+            cert_cache = TtlCache("ssh-certs", clock, ttl=scale_cfg.cert_ttl,
+                                  telemetry=tele)
+            # satellite fix: every RP's JWKS refresh rides the shared
+            # single-flight cache — N concurrent verifications hitting a
+            # key rotation produce exactly one upstream fetch
+            for upstream in broker._upstreams.values():
+                upstream.rp.jwks_cache = jwks_cache
+
     def _revocation(jti: str) -> bool:
         tokens = active_broker[0].tokens
         # durability mode trusts only journaled facts: unknown jtis (e.g.
@@ -407,7 +488,8 @@ def build_isambard(
 
     def validator_for(audience: str) -> RbacTokenValidator:
         return RbacTokenValidator(
-            clock, broker.issuer, audience, broker.jwks, _revocation
+            clock, broker.issuer, audience, broker.jwks, _revocation,
+            cache=token_cache,
         )
 
     # cluster objects exist before the portal's revocation hook references them
@@ -437,6 +519,8 @@ def build_isambard(
         "zenith-auth", [make_url("zenith", "/callback")], confidential=True
     )
     zenith.configure_rp(zenith_cfg)
+    if scale_cfg is not None and zenith._rp is not None:
+        zenith._rp.jwks_cache = jwks_cache
 
     edge = CloudflareEdge("edge", clock, audit=logs["external"])
     network.attach(edge, OperatingDomain.EXTERNAL, Zone.INTERNET)
@@ -476,13 +560,17 @@ def build_isambard(
     # in-memory revocation set, so its *local* validation is JWKS-only
     # and revocation is caught by the introspection round-trip (§IV.A.6)
     jupyter_validator = RbacTokenValidator(
-        clock, broker.issuer, "jupyter", broker.jwks, lambda jti: False
+        clock, broker.issuer, "jupyter", broker.jwks, lambda jti: False,
+        cache=token_cache,
     )
     jupyter = JupyterService(
         "jupyter", clock, ids, jupyter_validator, pool,
         audit=logs["mdc"], broker_endpoint="broker",
         staleness_window=staleness_window,
     )
+    if scale_cfg is not None:
+        jupyter.introspection_cache = introspect_cache
+        login_sshd.cert_cache = cert_cache
     network.attach(jupyter, OperatingDomain.MDC, Zone.HPC)
 
     zenith_client = ZenithClient("zenith-client", "jupyter")
@@ -526,6 +614,8 @@ def build_isambard(
         login_sshd_i3.install_host_certificate(
             ssh_ca.provision_host_certificate(
                 "login-node-i3", login_sshd_i3.host_keypair.public_jwk()))
+        if scale_cfg is not None:
+            login_sshd_i3.cert_cache = cert_cache
         network.attach(login_sshd_i3, OperatingDomain.MDC, Zone.HPC)
         mgmt_node_i3 = ManagementNode(
             "mgmt-node-i3", clock, validator_for("mgmt-node-i3"), pool_i3,
@@ -681,6 +771,60 @@ def build_isambard(
         edge.admission = AdmissionController(
             "edge", clock, overload_cfg.edge)
 
+    # --- scale-out: broker replica pool behind the load balancer ---------
+    broker_pool: Optional[ReplicaPool] = None
+    broker_lb: Optional[LoadBalancer] = None
+    autoscaler: Optional[Autoscaler] = None
+    if scale_cfg is not None:
+        lb_policy = {
+            "round-robin": RoundRobinPolicy,
+            "least-outstanding": LeastOutstandingPolicy,
+            "consistent-hash": lambda: ConsistentHashPolicy(
+                # session/tunnel affinity: pin on the credential, else
+                # on the calling endpoint
+                lambda req: (req.headers.get("Authorization")
+                             or req.headers.get("Cookie")
+                             or req.source)),
+        }[scale_cfg.policy]()
+        admission_factory = None
+        if overload_cfg is not None:
+            # capacity moves to the pods: each worker gets its own
+            # broker-sized bucket, so pool capacity is N x the rate
+            broker.admission = None
+            admission_factory = (
+                lambda worker_name: AdmissionController(
+                    worker_name, clock, overload_cfg.broker))
+        # the origin keeps its state and its outbound identity under
+        # "broker-origin"; the workers and the LB take over the public
+        # name, so every URL-based caller is load-balanced untouched
+        network.detach("broker")
+        network.attach(broker, OperatingDomain.FDS, Zone.ACCESS,
+                       name="broker-origin")
+        broker_pool = ReplicaPool(
+            "broker", network, OperatingDomain.FDS, Zone.ACCESS, broker,
+            min_replicas=scale_cfg.min_replicas,
+            max_replicas=scale_cfg.max_replicas,
+            admission_factory=admission_factory,
+        )
+        broker_pool.scale_to(scale_cfg.broker_replicas)
+        broker_lb = LoadBalancer(
+            "broker", clock, broker_pool, policy=lb_policy,
+            audit=logs["fds"],
+            breaker_listener=(tele.on_breaker_transition
+                              if tele is not None else None),
+        )
+        network.attach(broker_lb, OperatingDomain.FDS, Zone.ACCESS,
+                       name="broker")
+        edge.register_origin("broker", broker_lb)
+        if scale_cfg.autoscale and tele is not None:
+            autoscaler = Autoscaler(
+                clock, broker_pool, tele,
+                interval=scale_cfg.autoscale_interval,
+                watch_services=("broker",),
+                audit=logs["fds"],
+            )
+            autoscaler.start()
+
     # --- the revocation fan-out the portal hook calls --------------------
     def _revoke_everywhere(uid: str, project: str, account: str) -> None:
         active_broker[0].revoke_user_access(uid, project)
@@ -732,6 +876,11 @@ def build_isambard(
             broker_standby.add_upstream(
                 u.upstream_id, u.label, u.endpoint, u.rp.client, kind=u.kind)
         broker_standby.adopt_journal(store.stream("broker"))
+        if scale_cfg is not None:
+            # a promoted standby must keep publishing invalidations, or
+            # the caches would go quietly stale after a failover
+            broker_standby.tokens.bus = bus
+            broker_standby.invalidation_bus = bus
         network.attach(broker_standby, OperatingDomain.FDS, Zone.ACCESS,
                        name="broker-standby")
         ca_standby = SshCertificateAuthority(
@@ -761,8 +910,29 @@ def build_isambard(
 
         return crash_fn, restart_fn
 
-    for ep_name in ("broker", "portal", "ssh-ca", "idp-lastresort"):
+    for ep_name in ("portal", "ssh-ca", "idp-lastresort"):
         crash_targets[ep_name] = _service_target(ep_name)
+    if broker_pool is None:
+        crash_targets["broker"] = _service_target("broker")
+    else:
+        # in scale mode "crashing the broker" kills the shared state
+        # backend and takes the whole pod fleet down with it; the LB
+        # keeps answering (and exhausting) so callers see unavailability,
+        # not a vanished endpoint
+        origin_crash, origin_restart = _service_target("broker-origin")
+
+        def _crash_broker_pool() -> None:
+            origin_crash()
+            for replica in broker_pool.replicas():
+                network.endpoint(replica).up = False
+
+        def _restart_broker_pool():
+            report = origin_restart()
+            for replica in broker_pool.replicas():
+                network.endpoint(replica).up = True
+            return report
+
+        crash_targets["broker"] = (_crash_broker_pool, _restart_broker_pool)
 
     def _log_target(log: AuditLog):
         def crash_fn() -> None:
@@ -813,6 +983,12 @@ def build_isambard(
         faults=faults, resilience=runtime, overload=overload_cfg,
         durability=store, crash_targets=crash_targets,
         validator_factory=validator_for, telemetry=tele,
+        scale=scale_cfg, broker_pool=broker_pool, broker_lb=broker_lb,
+        invalidation_bus=bus, autoscaler=autoscaler,
+        caches=({} if token_cache is None else {
+            "token-decisions": token_cache, "jwks": jwks_cache,
+            "introspection": introspect_cache, "ssh-certs": cert_cache,
+        }),
     )
     if failover:
         failover_ctl = FailoverController(clock, network, audit=logs["sec"])
@@ -821,14 +997,23 @@ def build_isambard(
         def _promote_broker(standby) -> None:
             active_broker[0] = standby
             dri.broker = standby
-            edge.register_origin("broker", standby)
+            if broker_pool is not None:
+                # the LB keeps the public endpoint; the worker fleet just
+                # re-points at the promoted state backend (fencing still
+                # holds: the deposed origin can no longer commit)
+                broker_pool.origin = standby
+                for replica in broker_pool.replicas():
+                    broker_pool.worker(replica).origin = standby
+            else:
+                edge.register_origin("broker", standby)
 
         def _promote_ca(standby) -> None:
             active_ca[0] = standby
             dri.ssh_ca = standby
 
         failover_ctl.register(
-            "broker", broker, broker_standby, standby_name="broker-standby",
+            "broker-origin" if broker_pool is not None else "broker",
+            broker, broker_standby, standby_name="broker-standby",
             domain=OperatingDomain.FDS, zone=Zone.ACCESS,
             on_promote=_promote_broker)
         failover_ctl.register(

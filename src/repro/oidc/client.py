@@ -220,6 +220,14 @@ class RelyingParty:
         forces a refresh; a number makes :meth:`_discover` re-fetch once
         the cache is older — falling back to the stale cache (degraded
         mode) if the provider is unreachable at that moment.
+    jwks_cache:
+        Optional shared :class:`repro.scale.cache.TtlCache` keyed by
+        provider endpoint.  When set, *all* discovery/JWKS refreshes go
+        through its single-flight coalescer: on a key rotation, N
+        relying parties demanding a refresh at the same simulated
+        instant produce exactly one upstream fetch instead of a fan-out
+        of N, and the deployment's invalidation bus can evict the entry
+        the moment the provider rotates.
     """
 
     def __init__(
@@ -231,6 +239,7 @@ class RelyingParty:
         ids,
         *,
         jwks_max_age: Optional[float] = None,
+        jwks_cache=None,
     ) -> None:
         self.owner = owner
         self.provider = provider_endpoint
@@ -238,6 +247,7 @@ class RelyingParty:
         self.clock = clock
         self.ids = ids
         self.jwks_max_age = jwks_max_age
+        self.jwks_cache = jwks_cache
         self._issuer: Optional[str] = None
         self._jwks: Optional[JwkSet] = None
         self._jwks_fetched_at: float = 0.0
@@ -245,23 +255,31 @@ class RelyingParty:
         self.degraded_discoveries = 0
 
     # ------------------------------------------------------------------
+    def _fetch_metadata(self):
+        """One upstream round: discovery document + JWKS."""
+        resp = self.owner.call(
+            self.provider,
+            HttpRequest("GET", "/.well-known/openid-configuration"),
+        )
+        if not resp.ok:
+            raise AuthenticationError(
+                f"OIDC discovery at {self.provider} failed")
+        issuer = str(resp.body["issuer"])
+        jwks_resp = self.owner.call(
+            self.provider, HttpRequest("GET", "/jwks"))
+        jwks = JwkSet.from_jwks(jwks_resp.body)  # type: ignore[arg-type]
+        return issuer, jwks, self.clock.now()
+
     def _discover(self, *, force: bool = False) -> None:
+        if self.jwks_cache is not None:
+            self._discover_shared(force=force)
+            return
         if self._issuer is not None and not force:
             age = self.clock.now() - self._jwks_fetched_at
             if self.jwks_max_age is None or age <= self.jwks_max_age:
                 return
         try:
-            resp = self.owner.call(
-                self.provider,
-                HttpRequest("GET", "/.well-known/openid-configuration"),
-            )
-            if not resp.ok:
-                raise AuthenticationError(
-                    f"OIDC discovery at {self.provider} failed")
-            issuer = str(resp.body["issuer"])
-            jwks_resp = self.owner.call(
-                self.provider, HttpRequest("GET", "/jwks"))
-            jwks = JwkSet.from_jwks(jwks_resp.body)  # type: ignore[arg-type]
+            issuer, jwks, fetched_at = self._fetch_metadata()
         except ServiceUnavailable:
             if self._issuer is not None:
                 # degraded mode: keep validating against the cached JWKS
@@ -272,7 +290,33 @@ class RelyingParty:
             raise
         self._issuer = issuer
         self._jwks = jwks
-        self._jwks_fetched_at = self.clock.now()
+        self._jwks_fetched_at = fetched_at
+
+    def _discover_shared(self, *, force: bool) -> None:
+        """Read provider metadata through the shared single-flight cache.
+
+        ``force`` demands an entry at least as fresh as *now* — which an
+        entry installed by another RP's refresh at this same instant
+        already is, so a rotation storm coalesces to one fetch.  The
+        per-RP ``jwks_max_age`` maps onto the same freshness floor.
+        """
+        now = self.clock.now()
+        min_fresh: Optional[float] = None
+        if force:
+            min_fresh = now
+        elif self.jwks_max_age is not None:
+            min_fresh = now - self.jwks_max_age
+        try:
+            issuer, jwks, fetched_at = self.jwks_cache.get_or_load(
+                self.provider, self._fetch_metadata, min_fresh_at=min_fresh)
+        except ServiceUnavailable:
+            if self._issuer is not None:
+                self.degraded_discoveries += 1
+                return
+            raise
+        self._issuer = issuer
+        self._jwks = jwks
+        self._jwks_fetched_at = fetched_at
 
     @property
     def issuer(self) -> str:

@@ -118,6 +118,12 @@ class OidcProvider(Service, Durable):
         self._device_flows: Dict[str, DeviceAuthorization] = {}  # device_code ->
         self._device_by_user_code: Dict[str, str] = {}
         self.device_code_ttl = 600.0
+        # scale-out hooks: the deployment's InvalidationBus (key rotations
+        # and revocations fan out to replica caches through it) and the
+        # upstream-call counters the cache-efficacy benches read
+        self.invalidation_bus = None
+        self.jwks_serves = 0
+        self.introspections = 0
 
     # ------------------------------------------------------------------
     # client registry
@@ -170,6 +176,9 @@ class OidcProvider(Service, Durable):
         self._key_generation += 1
         self.jwks.add(new_key.public())
         self.key = new_key
+        if self.invalidation_bus is not None:
+            self.invalidation_bus.publish("jwks.rotated", key=self.name,
+                                          kid=new_key.kid)
         self._audit("operator", "key.rotated", new_key.kid, Outcome.INFO)
         return new_key.kid
 
@@ -229,6 +238,7 @@ class OidcProvider(Service, Durable):
 
     @route("GET", "/jwks")
     def jwks_endpoint(self, request: HttpRequest) -> HttpResponse:
+        self.jwks_serves += 1
         return HttpResponse.json(self.jwks.to_jwks())
 
     # ------------------------------------------------------------------
@@ -558,6 +568,7 @@ class OidcProvider(Service, Durable):
 
     @route("POST", "/introspect")
     def introspect(self, request: HttpRequest) -> HttpResponse:
+        self.introspections += 1
         token = str(request.body.get("token", ""))
         try:
             claims = self._validate_access(token)
@@ -586,7 +597,9 @@ class OidcProvider(Service, Durable):
     def revoke_jti(self, jti: str) -> None:
         self._jpublish("oidc.jti_revoked", jti=jti)
         self._revoked_jtis.add(jti)
-        self._audit("system", "token.revoked", jti, Outcome.INFO)
+        if self.invalidation_bus is not None:
+            self.invalidation_bus.publish("token.revoked", key=jti)
+        self._audit("system", "token.revoked", jti, Outcome.INFO, jti=jti)
 
     def is_revoked(self, jti: str) -> bool:
         return jti in self._revoked_jtis

@@ -1,0 +1,369 @@
+"""Replica pools and the deterministic load balancer.
+
+A :class:`ReplicaPool` runs N stateless :class:`ReplicaWorker` fronts
+for one origin service — the Deployment-of-pods model: each worker has
+its own network endpoint, its own admission-control bucket and its own
+circuit-breaker target, while the application state stays in the shared
+origin (the way replicated token validators share one token store in
+systems like Gafaelfawr).  A :class:`LoadBalancer` owns the pool's
+public endpoint name, picks a worker per request under a pluggable
+policy and fails over to the next candidate when a worker is down,
+circuit-broken or shedding.
+
+Every balanced hop goes through :meth:`Service.call`, so client/server
+spans, deadline propagation and priority inheritance compose unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..audit import Outcome
+from ..clock import SimClock
+from ..errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    RateLimited,
+    ServiceUnavailable,
+)
+from ..net.http import HttpRequest, HttpResponse, Service
+from ..resilience.breaker import CircuitBreaker
+from .hashring import BoundedLoadRing
+
+__all__ = [
+    "ReplicaWorker",
+    "ReplicaPool",
+    "LoadBalancer",
+    "RoundRobinPolicy",
+    "LeastOutstandingPolicy",
+    "ConsistentHashPolicy",
+]
+
+
+class ReplicaWorker(Service):
+    """One stateless worker terminating requests for a shared origin.
+
+    The worker re-dispatches to the origin's route table in-process
+    (same pod, shared state backend); what it adds is *capacity
+    isolation*: its own admission bucket, endpoint and breaker target.
+    """
+
+    def __init__(self, name: str, origin: Service) -> None:
+        super().__init__(name)
+        self.origin = origin
+        self.served = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        admitted = self._admit(request)
+        self._serving.append(request)
+        try:
+            self.served += 1
+            return self.origin.handle(request)
+        finally:
+            self._serving.pop()
+            if admitted:
+                self.admission.release()
+
+
+class ReplicaPool:
+    """Manage the worker fleet for one origin service.
+
+    Workers attach to the network as ``<name>-r1 … -rN`` in the same
+    domain/zone as the pool.  ``scale_to`` adds or retires workers; the
+    balancer and the hash ring observe membership through
+    :meth:`replicas` so placement follows the fleet.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network,
+        domain,
+        zone,
+        origin: Service,
+        *,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+        admission_factory: Optional[Callable[[str], object]] = None,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.domain = domain
+        self.zone = zone
+        self.origin = origin
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.admission_factory = admission_factory
+        self._workers: Dict[str, ReplicaWorker] = {}
+        self._next_index = 0
+        self._listeners: List[Callable[[str, str], None]] = []
+
+    # ------------------------------------------------------------------
+    def replicas(self) -> List[str]:
+        return list(self._workers)
+
+    def worker(self, name: str) -> ReplicaWorker:
+        return self._workers[name]
+
+    def size(self) -> int:
+        return len(self._workers)
+
+    def on_membership(self, cb: Callable[[str, str], None]) -> None:
+        """Register ``cb(event, replica)`` for join/leave notifications."""
+        self._listeners.append(cb)
+
+    # ------------------------------------------------------------------
+    def add_replica(self) -> str:
+        if self.size() >= self.max_replicas:
+            raise ValueError(f"pool {self.name} already at max "
+                             f"({self.max_replicas}) replicas")
+        self._next_index += 1
+        name = f"{self.name}-r{self._next_index}"
+        worker = ReplicaWorker(name, self.origin)
+        if self.admission_factory is not None:
+            worker.admission = self.admission_factory(name)
+        self.network.attach(worker, self.domain, self.zone, name=name)
+        self._workers[name] = worker
+        for cb in self._listeners:
+            cb("join", name)
+        return name
+
+    def remove_replica(self) -> str:
+        if self.size() <= self.min_replicas:
+            raise ValueError(f"pool {self.name} already at min "
+                             f"({self.min_replicas}) replicas")
+        # newest-first retirement keeps the survivors' ring arcs stable
+        name = list(self._workers)[-1]
+        del self._workers[name]
+        self.network.detach(name)
+        for cb in self._listeners:
+            cb("leave", name)
+        return name
+
+    def scale_to(self, n: int) -> int:
+        n = max(self.min_replicas, min(self.max_replicas, n))
+        while self.size() < n:
+            self.add_replica()
+        while self.size() > n:
+            self.remove_replica()
+        return self.size()
+
+
+# ----------------------------------------------------------------------
+# balancing policies
+# ----------------------------------------------------------------------
+class RoundRobinPolicy:
+    """Rotate through the fleet; failover order continues the rotation."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def order(self, replicas: List[str], request: HttpRequest,
+              outstanding: Dict[str, int]) -> List[str]:
+        if not replicas:
+            return []
+        start = self._cursor % len(replicas)
+        self._cursor += 1
+        return replicas[start:] + replicas[:start]
+
+    def acquire(self, replica: str) -> None:  # pragma: no cover - no-op
+        pass
+
+    def release(self, replica: str) -> None:  # pragma: no cover - no-op
+        pass
+
+
+class LeastOutstandingPolicy:
+    """Join-shortest-queue: fewest in-flight requests first, then the
+    smallest cumulative count (deterministic tie-break by fleet order)."""
+
+    name = "least-outstanding"
+
+    def __init__(self) -> None:
+        self._served: Dict[str, int] = {}
+
+    def order(self, replicas: List[str], request: HttpRequest,
+              outstanding: Dict[str, int]) -> List[str]:
+        indexed = list(enumerate(replicas))
+        indexed.sort(key=lambda pair: (
+            outstanding.get(pair[1], 0),
+            self._served.get(pair[1], 0),
+            pair[0],
+        ))
+        return [name for _, name in indexed]
+
+    def acquire(self, replica: str) -> None:
+        self._served[replica] = self._served.get(replica, 0) + 1
+
+    def release(self, replica: str) -> None:  # pragma: no cover - no-op
+        pass
+
+
+class ConsistentHashPolicy:
+    """Session/tunnel affinity on a bounded-load hash ring.
+
+    ``key_fn`` extracts the affinity key from the request (session
+    cookie, tunnel id, client endpoint…); requests with no key fall
+    back to the ring walk from the request path, so they still spread.
+    """
+
+    name = "consistent-hash"
+
+    def __init__(self, key_fn: Callable[[HttpRequest], Optional[str]],
+                 *, vnodes: int = 64, bound: float = 1.25) -> None:
+        self.key_fn = key_fn
+        self.ring = BoundedLoadRing(vnodes=vnodes, bound=bound)
+
+    def sync(self, replicas: List[str]) -> None:
+        current = set(self.ring.members)
+        wanted = set(replicas)
+        for member in current - wanted:
+            self.ring.remove(member)
+        for member in sorted(wanted - current):
+            self.ring.add(member)
+
+    def order(self, replicas: List[str], request: HttpRequest,
+              outstanding: Dict[str, int]) -> List[str]:
+        self.sync(replicas)
+        key = self.key_fn(request) or request.path
+        cap = self.ring.capacity()
+        walk: List[str] = []
+        preferred: List[str] = []
+        overloaded: List[str] = []
+        start = self.ring.locate(key)
+        # deterministic walk: owner first, then fleet order from there
+        idx = replicas.index(start) if start in replicas else 0
+        walk = replicas[idx:] + replicas[:idx]
+        for member in walk:
+            if self.ring.load(member) < cap:
+                preferred.append(member)
+            else:
+                overloaded.append(member)
+        return preferred + overloaded
+
+    def acquire(self, replica: str) -> None:
+        if replica in self.ring.members:
+            self.ring.take(replica)
+
+    def release(self, replica: str) -> None:
+        if replica in self.ring.members:
+            self.ring.release(replica)
+
+
+# ----------------------------------------------------------------------
+class LoadBalancer(Service):
+    """The pool's public endpoint: route, breaker-guard, fail over.
+
+    Owns a per-replica :class:`CircuitBreaker`; a replica that keeps
+    failing is skipped for ``recovery_time`` the same way outbound
+    resilience kits short-circuit a dead dependency.  Failover moves to
+    the next candidate on transport failure (``ServiceUnavailable``,
+    including injected faults and open breakers) and on shed
+    (``RateLimited``) — spreading a surge across the pool is exactly
+    the point — but never on ``DeadlineExceeded``: expired work is
+    expired everywhere.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        pool: ReplicaPool,
+        *,
+        policy=None,
+        audit=None,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        breaker_listener: Optional[Callable] = None,
+    ) -> None:
+        super().__init__(name)
+        self.clock = clock
+        self.pool = pool
+        self.policy = policy if policy is not None else LeastOutstandingPolicy()
+        self.audit = audit
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.breaker_listener = breaker_listener
+        self.outstanding: Dict[str, int] = {}
+        self.routed = 0
+        self.failovers = 0
+        self.exhausted = 0
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    # ------------------------------------------------------------------
+    def _breaker(self, replica: str) -> CircuitBreaker:
+        br = self._breakers.get(replica)
+        if br is None:
+            br = CircuitBreaker(
+                self.clock,
+                name=f"{self.name}->{replica}",
+                failure_threshold=self.failure_threshold,
+                recovery_time=self.recovery_time,
+                listener=self.breaker_listener,
+            )
+            self._breakers[replica] = br
+        return br
+
+    def _healthy(self, replica: str) -> bool:
+        try:
+            ep = self.network.endpoint(replica)
+        except ConfigurationError:
+            return False
+        return bool(ep.up)
+
+    # ------------------------------------------------------------------
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        admitted = self._admit(request)
+        self._serving.append(request)
+        try:
+            return self._forward(request)
+        except (RateLimited, DeadlineExceeded):
+            raise
+        finally:
+            self._serving.pop()
+            if admitted:
+                self.admission.release()
+
+    def _forward(self, request: HttpRequest) -> HttpResponse:
+        replicas = self.pool.replicas()
+        candidates = self.policy.order(replicas, request, self.outstanding)
+        last_exc: Optional[Exception] = None
+        tried = 0
+        for replica in candidates:
+            breaker = self._breaker(replica)
+            if not self._healthy(replica) or not breaker.allow():
+                continue
+            if tried:
+                self.failovers += 1
+                if self.audit is not None:
+                    self.log_event("system", "lb.failover", replica,
+                                   Outcome.INFO, pool=self.pool.name,
+                                   attempt=tried + 1)
+            tried += 1
+            self.outstanding[replica] = self.outstanding.get(replica, 0) + 1
+            self.policy.acquire(replica)
+            try:
+                response = self.call(replica, request)
+            except DeadlineExceeded:
+                # not the replica's fault; don't trip its breaker
+                raise
+            except RateLimited as exc:
+                last_exc = exc
+                continue
+            except ServiceUnavailable as exc:
+                breaker.record_failure()
+                last_exc = exc
+                continue
+            finally:
+                self.outstanding[replica] -= 1
+                self.policy.release(replica)
+            breaker.record_success()
+            self.routed += 1
+            return response
+        self.exhausted += 1
+        if last_exc is not None:
+            raise last_exc
+        raise ServiceUnavailable(
+            f"{self.name}: no healthy replica in pool {self.pool.name}")

@@ -1,0 +1,367 @@
+"""Distributed cache layer for the scale-out subsystem.
+
+Three cooperating pieces, all driven by :class:`~repro.clock.SimClock`
+(never the wall clock):
+
+* :class:`TtlCache` — positive + negative caching with per-entry TTLs,
+  tag-based invalidation, and built-in **single-flight** request
+  coalescing: loads that overlap in simulated time share one upstream
+  fetch instead of stampeding.
+* :class:`InvalidationBus` — deployment-wide pub/sub that carries token
+  revocations and JWKS key rotations to every subscribed cache
+  *synchronously and in order*, so a cached ALLOW decision never
+  outlives the revocation that kills it.  This models a small, reliable
+  message bus (Redis keyspace events / NATS in production systems such
+  as Gafaelfawr) rather than best-effort gossip.
+* :class:`CacheStats` — counters the benches and the telemetry layer
+  read to prove the ≥10× upstream-call reduction.
+
+Determinism: "concurrent" in a sequential discrete-event simulation
+means *overlapping in simulated time*.  A load that completes at T is
+joined by every request that arrives while the clock still reads ≤ T;
+they are counted as coalesced followers and share the leader's result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..clock import SimClock
+
+__all__ = ["CacheStats", "TtlCache", "InvalidationBus", "LoadInFlight"]
+
+
+class LoadInFlight(RuntimeError):
+    """A re-entrant load of a key whose leader is still on the stack.
+
+    Sequential execution cannot block a follower until the leader
+    returns; a caller that can serve degraded should catch this and use
+    its stale copy.  In practice the control-plane call graphs never
+    recurse into the same cache key, so this is a guard rail, not a
+    code path.
+    """
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache (read by benches, tests and telemetry)."""
+
+    hits: int = 0
+    negative_hits: int = 0
+    misses: int = 0
+    loads: int = 0
+    coalesced: int = 0
+    invalidations: int = 0
+    expirations: int = 0
+
+    def requests(self) -> int:
+        return self.hits + self.negative_hits + self.misses + self.coalesced
+
+    def hit_ratio(self) -> float:
+        total = self.requests()
+        served = self.hits + self.negative_hits + self.coalesced
+        return served / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    value: Any
+    loaded_at: float
+    expires_at: float
+    negative: bool = False
+    error: Optional[Tuple[type, str]] = None
+    tags: Tuple[str, ...] = ()
+
+
+@dataclass
+class _Flight:
+    started_at: float
+    completed_at: Optional[float] = None
+    in_progress: bool = True
+
+
+class TtlCache:
+    """TTL cache with negative entries, tags and single-flight loads.
+
+    ``get_or_load`` is the only read path: a hit returns the cached
+    value (or re-raises the cached *negative* outcome), a miss runs
+    ``loader`` exactly once per flight window and installs the result.
+    Failures listed in ``negative_errors`` are cached as negative
+    entries for ``negative_ttl`` so repeated bad inputs (forged or
+    revoked tokens) do not redo expensive crypto or upstream calls.
+
+    Tags drive invalidation: an entry tagged ``jti:abc`` disappears the
+    instant the invalidation bus delivers a revocation for that jti,
+    regardless of remaining TTL.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        *,
+        ttl: float,
+        negative_ttl: Optional[float] = None,
+        negative_errors: Tuple[type, ...] = (),
+        max_entries: int = 4096,
+        telemetry: Optional[object] = None,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.ttl = float(ttl)
+        self.negative_ttl = float(negative_ttl if negative_ttl is not None else ttl)
+        self.negative_errors = negative_errors
+        self.max_entries = max_entries
+        self.telemetry = telemetry
+        self.stats = CacheStats()
+        self._entries: Dict[Any, _Entry] = {}
+        self._by_tag: Dict[str, Set[Any]] = {}
+        self._flights: Dict[Any, _Flight] = {}
+        # the caller can read this right after get_or_load to stamp a
+        # CACHED audit outcome on decisions served without fresh work
+        self.last_hit = False
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def get_or_load(
+        self,
+        key: Any,
+        loader: Callable[[], Any],
+        *,
+        ttl: Optional[float] = None,
+        ttl_of: Optional[Callable[[Any], float]] = None,
+        tags_of: Optional[Callable[[Any], Tuple[str, ...]]] = None,
+        min_fresh_at: Optional[float] = None,
+    ) -> Any:
+        """Return the cached value for ``key``, loading on miss.
+
+        ``min_fresh_at`` implements coalesced force-refresh: entries
+        loaded before that timestamp are treated as stale, but an entry
+        installed by another caller *at the current instant* still
+        counts as fresh — N callers demanding a refresh at time T
+        produce exactly one upstream load.
+        """
+        now = self.clock.now()
+        self.last_hit = False
+        entry = self._entries.get(key)
+        if entry is not None:
+            stale = now >= entry.expires_at or (
+                min_fresh_at is not None and entry.loaded_at < min_fresh_at
+            )
+            if not stale:
+                self.last_hit = True
+                if entry.negative:
+                    self.stats.negative_hits += 1
+                    self._observe("negative_hit")
+                    assert entry.error is not None
+                    exc_type, message = entry.error
+                    raise exc_type(message)
+                self.stats.hits += 1
+                self._observe("hit")
+                return entry.value
+            if now >= entry.expires_at:
+                self.stats.expirations += 1
+                self._drop(key)
+
+        flight = self._flights.get(key)
+        if flight is not None:
+            if flight.in_progress:
+                # re-entrant follower: the leader's loader is on the
+                # stack below us and cannot be waited on sequentially
+                self.stats.coalesced += 1
+                self._observe("coalesced")
+                raise LoadInFlight(f"{self.name}: load of {key!r} in flight")
+            if flight.completed_at is not None and now <= flight.completed_at:
+                # the flight finished at this very instant; we arrived
+                # "concurrently" in simulated time and share its result
+                fresh = self._entries.get(key)
+                if fresh is not None:
+                    self.stats.coalesced += 1
+                    self._observe("coalesced")
+                    self.last_hit = True
+                    if fresh.negative:
+                        assert fresh.error is not None
+                        exc_type, message = fresh.error
+                        raise exc_type(message)
+                    return fresh.value
+
+        self.stats.misses += 1
+        self._observe("miss")
+        flight = _Flight(started_at=now)
+        self._flights[key] = flight
+        try:
+            value = loader()
+        except self.negative_errors as exc:
+            flight.in_progress = False
+            flight.completed_at = self.clock.now()
+            self.stats.loads += 1
+            self._observe("load")
+            self._install(
+                key,
+                _Entry(
+                    value=None,
+                    loaded_at=self.clock.now(),
+                    expires_at=self.clock.now() + self.negative_ttl,
+                    negative=True,
+                    error=(type(exc), str(exc)),
+                ),
+            )
+            raise
+        except Exception:
+            # unexpected failures are not cached; drop the flight so the
+            # next caller retries upstream
+            del self._flights[key]
+            raise
+        flight.in_progress = False
+        flight.completed_at = self.clock.now()
+        self.stats.loads += 1
+        self._observe("load")
+        entry_ttl = self.ttl if ttl is None else ttl
+        if ttl_of is not None:
+            entry_ttl = min(entry_ttl, ttl_of(value))
+        tags: Tuple[str, ...] = tags_of(value) if tags_of is not None else ()
+        self._install(
+            key,
+            _Entry(
+                value=value,
+                loaded_at=self.clock.now(),
+                expires_at=self.clock.now() + max(entry_ttl, 0.0),
+                tags=tags,
+            ),
+        )
+        return value
+
+    def peek(self, key: Any) -> Optional[Any]:
+        """Non-loading read: the live value or None (never a negative)."""
+        entry = self._entries.get(key)
+        if entry is None or entry.negative or self.clock.now() >= entry.expires_at:
+            return None
+        return entry.value
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, key: Any) -> bool:
+        """Drop one key (and forget its flight window)."""
+        existed = key in self._entries
+        self._drop(key)
+        self._flights.pop(key, None)
+        if existed:
+            self.stats.invalidations += 1
+            self._observe("invalidation")
+        return existed
+
+    def invalidate_tag(self, tag: str) -> int:
+        """Drop every entry carrying ``tag``; returns how many died."""
+        keys = list(self._by_tag.get(tag, ()))
+        for key in keys:
+            self.invalidate(key)
+        return len(keys)
+
+    def clear(self) -> int:
+        """Flush the whole cache (e.g. on a signing-key rotation)."""
+        n = len(self._entries)
+        self._entries.clear()
+        self._by_tag.clear()
+        self._flights.clear()
+        if n:
+            self.stats.invalidations += n
+            self._observe("invalidation", n)
+        return n
+
+    def bind(self, bus: "InvalidationBus", topic: str,
+             *, by_tag: bool = True) -> None:
+        """Subscribe this cache to a bus topic.
+
+        With ``by_tag`` (default) the event key is treated as a tag
+        (``jti:<key>`` style is the publisher's responsibility to match);
+        a bare event with no key flushes the whole cache.
+        """
+        def _on_event(key: Optional[str], **_attrs: object) -> None:
+            if key is None:
+                self.clear()
+            elif by_tag:
+                self.invalidate_tag(key)
+            else:
+                self.invalidate(key)
+
+        bus.subscribe(topic, _on_event)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _install(self, key: Any, entry: _Entry) -> None:
+        self._drop(key)
+        if len(self._entries) >= self.max_entries:
+            # deterministic eviction: the entry expiring soonest goes
+            victim = min(self._entries,
+                         key=lambda k: (self._entries[k].expires_at, str(k)))
+            self._drop(victim)
+            self.stats.expirations += 1
+        self._entries[key] = entry
+        for tag in entry.tags:
+            self._by_tag.setdefault(tag, set()).add(key)
+
+    def _drop(self, key: Any) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for tag in entry.tags:
+            members = self._by_tag.get(tag)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del self._by_tag[tag]
+
+    def _observe(self, event: str, n: int = 1) -> None:
+        tele = self.telemetry
+        if tele is not None:
+            tele.observe_cache(self.name, event, n)
+
+
+@dataclass
+class _Subscription:
+    topic: str
+    callback: Callable[..., None]
+
+
+class InvalidationBus:
+    """Synchronous, ordered pub/sub for cache invalidation events.
+
+    ``publish(topic, key=...)`` delivers to every subscriber before it
+    returns — the simulation's stand-in for a reliable message bus with
+    delivery confirmation.  The zero-trust contract rests on this:
+    :meth:`~repro.broker.tokens.TokenService.revoke_jti` publishes
+    *before* reporting the revocation done, so by the time any caller
+    observes the revocation, no subscribed cache still holds the token.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._subs: Dict[str, List[_Subscription]] = {}
+        self.published = 0
+        self.delivered = 0
+        self.history: List[Tuple[float, str, Optional[str]]] = []
+
+    def subscribe(self, topic: str, callback: Callable[..., None]) -> None:
+        self._subs.setdefault(topic, []).append(_Subscription(topic, callback))
+
+    def publish(self, topic: str, key: Optional[str] = None,
+                **attrs: object) -> int:
+        """Deliver an event to every subscriber of ``topic``, in order."""
+        self.published += 1
+        self.history.append((self.clock.now(), topic, key))
+        delivered = 0
+        for sub in self._subs.get(topic, ()):  # registration order
+            sub.callback(key, **attrs)
+            delivered += 1
+        self.delivered += delivered
+        return delivered
+
+    def subscriber_count(self, topic: str) -> int:
+        return len(self._subs.get(topic, ()))

@@ -3,6 +3,7 @@
 from repro.siem.configassess import CheckResult, ConfigAssessment, ConfigCheck
 from repro.siem.detections import (
     Alert,
+    CacheStalenessRule,
     DetectionRule,
     DistinctTargetsRule,
     ThresholdRule,
@@ -27,6 +28,7 @@ __all__ = [
     "DetectionRule",
     "ThresholdRule",
     "DistinctTargetsRule",
+    "CacheStalenessRule",
     "standard_rules",
     "AssetInventory",
     "Asset",

@@ -17,6 +17,7 @@ __all__ = [
     "DetectionRule",
     "ThresholdRule",
     "DistinctTargetsRule",
+    "CacheStalenessRule",
     "standard_rules",
 ]
 
@@ -122,6 +123,63 @@ class DistinctTargetsRule(DetectionRule):
         )
 
 
+@dataclass
+class CacheStalenessRule(DetectionRule):
+    """The staleness oracle for the replica cache layer.
+
+    The scale subsystem promises that a cached ALLOW never outlives a
+    revocation: the invalidation bus evicts the jti from every
+    subscribed cache synchronously, *inside* the revocation call.  This
+    rule watches the forwarded stream for the promise being broken — a
+    ``cached`` decision that names a jti *after* a revocation event for
+    that jti was observed.  Any hit is a critical alert: it means some
+    replica served a revoked credential from cache, which is a
+    zero-trust correctness failure, not a performance bug.
+
+    Revocations are learned from records whose action is one of
+    ``rbac.revoke``/``token.revoke`` (jti in the resource or the ``jti``
+    attribute).  Cache-served decisions are records with outcome
+    ``cached``; their jti rides the ``jti`` attribute stamped by the
+    serving service.
+    """
+
+    name: str = "cache-staleness"
+    severity: str = "critical"
+    summary: str = "cached decision served revoked token {jti} for {actor}"
+    _revoked_at: Dict[str, float] = field(default_factory=dict)
+    _alerted: Dict[str, float] = field(default_factory=dict)
+
+    REVOCATION_ACTIONS = ("rbac.revoke", "token.revoke")
+
+    def observe(self, record: Dict[str, object]) -> Optional[Alert]:
+        action = str(record.get("action", ""))
+        t = float(record.get("time", 0.0))
+        attrs = record.get("attrs") or {}
+        jti = str(attrs.get("jti", "") if isinstance(attrs, dict) else "")
+        if any(action.startswith(p) for p in self.REVOCATION_ACTIONS):
+            revoked = jti or str(record.get("resource", ""))
+            if revoked and revoked not in self._revoked_at:
+                self._revoked_at[revoked] = t
+            return None
+        if record.get("outcome") != "cached" or not jti:
+            return None
+        revoked_at = self._revoked_at.get(jti)
+        if revoked_at is None or t < revoked_at:
+            return None
+        if jti in self._alerted:
+            return None          # one alert per stale jti, not per serve
+        self._alerted[jti] = t
+        actor = str(record.get("actor", ""))
+        return Alert(
+            time=t,
+            rule=self.name,
+            severity=self.severity,
+            actor=actor,
+            summary=self.summary.format(jti=jti, actor=actor),
+            evidence_count=1,
+        )
+
+
 def _denied(action_prefix: str):
     def pred(r: Dict[str, object]) -> bool:
         return (str(r.get("action", "")).startswith(action_prefix)
@@ -201,4 +259,7 @@ def standard_rules() -> List[DetectionRule]:
                 and r.get("outcome") == "denied"
             ),
         ),
+        # inert without the scale subsystem (seed mode never emits a
+        # "cached" outcome), so it ships in the default pack
+        CacheStalenessRule(),
     ]

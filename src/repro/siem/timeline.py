@@ -52,6 +52,12 @@ class IncidentTimeline:
         timeline must not mistake load shedding for access refusals."""
         return [e for e in self.entries if e.outcome in ("shed", "expired")]
 
+    def cached(self) -> List[TimelineEntry]:
+        """Decisions served from a replica cache rather than fresh
+        validation — the entries the staleness oracle cross-checks
+        against revocation events."""
+        return [e for e in self.entries if e.outcome == "cached"]
+
     def containment(self) -> Optional[TimelineEntry]:
         for e in self.entries:
             if e.action.startswith("killswitch.") or e.action.endswith(".flag"):
@@ -68,9 +74,11 @@ class IncidentTimeline:
         ]
         for e in self.entries:
             # shed (~) and expired (x) get their own marks so overload
-            # drops never read as denials (!) in the narrative
+            # drops never read as denials (!); cache-served decisions (c)
+            # are flagged because they rest on earlier validation work
             mark = {"denied": "!", "error": "E", "success": " ",
-                    "info": " ", "shed": "~", "expired": "x"}.get(e.outcome, "?")
+                    "info": " ", "shed": "~", "expired": "x",
+                    "cached": "c"}.get(e.outcome, "?")
             lines.append(
                 f"  t={e.time:10.3f} [{mark}] {e.domain or '-':<8} "
                 f"{e.source:<14} {e.action:<26} {e.detail}"

@@ -30,6 +30,8 @@ __all__ = [
     "SshKeyPair",
     "SshCertificate",
     "issue_certificate",
+    "parse_certificate",
+    "check_certificate",
     "validate_certificate",
     "issue_host_certificate",
     "validate_host_certificate",
@@ -178,6 +180,26 @@ def validate_certificate(
     Raises :class:`CertificateError` describing the first failure.
     """
     cert = parse_certificate(wire, ca_pub)
+    return check_certificate(
+        cert, clock, principal=principal, challenge=challenge, proof=proof)
+
+
+def check_certificate(
+    cert: SshCertificate,
+    clock: SimClock,
+    *,
+    principal: str,
+    challenge: bytes,
+    proof: bytes,
+) -> SshCertificate:
+    """Per-connection policy checks on an already-signature-verified cert.
+
+    Split out from :func:`validate_certificate` so a replica may cache
+    the expensive parse+CA-signature step (the certificate bytes are
+    immutable) while the time window, principal binding and — above all
+    — the proof of key possession are verified fresh on every single
+    connection.
+    """
     now = clock.now()
     if now < cert.valid_after:
         raise CertificateError("certificate not yet valid")

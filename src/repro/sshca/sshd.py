@@ -18,7 +18,11 @@ from repro.clock import SimClock
 from repro.crypto.keys import VerifyingKey
 from repro.errors import CertificateError
 from repro.net.http import HttpRequest, HttpResponse, Service, route
-from repro.sshca.certificate import validate_certificate
+from repro.sshca.certificate import (
+    check_certificate,
+    parse_certificate,
+    validate_certificate,
+)
 
 __all__ = ["SshSession", "LoginNodeSshd"]
 
@@ -82,6 +86,13 @@ class LoginNodeSshd(Service):
         # ex-primary after its deposition — is refused even though its
         # signature verifies.  None (the default) keeps seed behaviour.
         self.cert_registry: Optional[Callable[[int, str], bool]] = None
+        # scale mode: a repro.scale.cache.TtlCache for the parse+CA-
+        # signature step of certificate validation.  Only the immutable
+        # crypto is cached; the validity window, principal binding, the
+        # proof of key possession, the issuance registry and the account
+        # check run fresh on every connection, so a cached entry can
+        # never admit what a fresh validation would refuse.
+        self.cert_cache = None
 
     def install_host_certificate(self, wire: str) -> None:
         """Operator provisioning: the CA-signed certificate for this host."""
@@ -99,11 +110,25 @@ class LoginNodeSshd(Service):
         except ValueError:
             proof = b""
         challenge = f"{self.name}|{principal}".encode()
+        cached_hit = False
         try:
-            cert = validate_certificate(
-                wire, self.ca_public_key, self.clock,
-                principal=principal, challenge=challenge, proof=proof,
-            )
+            if self.cert_cache is not None:
+                parsed = self.cert_cache.get_or_load(
+                    wire,
+                    lambda: parse_certificate(wire, self.ca_public_key),
+                    ttl_of=lambda c: c.valid_before - now,
+                    tags_of=lambda c: (c.key_id,),
+                )
+                cached_hit = self.cert_cache.last_hit
+                cert = check_certificate(
+                    parsed, self.clock,
+                    principal=principal, challenge=challenge, proof=proof,
+                )
+            else:
+                cert = validate_certificate(
+                    wire, self.ca_public_key, self.clock,
+                    principal=principal, challenge=challenge, proof=proof,
+                )
         except CertificateError as exc:
             self.log_event(principal, "ssh.session", "", Outcome.DENIED,
                 reason=str(exc), jump=request.headers.get("X-Jump-Host", ""),
@@ -135,7 +160,8 @@ class LoginNodeSshd(Service):
         )
         self._sessions[session.session_id] = session
         self.log_event(principal, "ssh.session", session.session_id,
-            Outcome.SUCCESS, key_id=cert.key_id, serial=cert.serial,
+            Outcome.CACHED if cached_hit else Outcome.SUCCESS,
+            key_id=cert.key_id, serial=cert.serial,
         )
         body: Dict[str, object] = {
             "session_id": session.session_id,

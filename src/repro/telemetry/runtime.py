@@ -87,6 +87,16 @@ class Telemetry:
         self.breaker_state = r.gauge(
             "repro_breaker_state",
             "Breaker state (0 closed, 0.5 half-open, 1 open)")
+        # scale-out subsystem
+        self.cache_events = r.counter(
+            "repro_cache_events_total",
+            "Distributed-cache traffic by cache and event "
+            "(hit/negative_hit/miss/load/coalesced/invalidation)")
+        self.pool_size = r.gauge(
+            "repro_replica_pool_size", "Live replicas per pool")
+        self.autoscale_decisions = r.counter(
+            "repro_autoscale_decisions_total",
+            "Autoscaler actions, by pool and direction")
 
         self._slos: Dict[str, SloMonitor] = {}
         self._slos_by_service: Dict[str, List[SloMonitor]] = {}
@@ -105,6 +115,11 @@ class Telemetry:
             duration, trace_id=trace_id, time=self.clock.now(), dst=dst)
         for monitor in self._slos_by_service.get(dst, ()):
             monitor.record(self.clock.now(), not failed)
+
+    def observe_cache(self, cache: str, event: str, n: int = 1) -> None:
+        """A distributed-cache lookup resolved as ``event`` (see
+        :class:`repro.scale.cache.TtlCache`)."""
+        self.cache_events.inc(n, cache=cache, event=event)
 
     # --------------------------------------------------------- resilience
     def on_breaker_transition(self, name: str, from_state: str, to_state: str,

@@ -180,8 +180,14 @@ class ZenithServer(Service):
             registered_by=str(claims["sub"]),
             expires_at=self.clock.now() + self.heartbeat_ttl,
         )
+        # scale mode: a heartbeat re-registration whose token signature
+        # was served from the replica cache is stamped CACHED (with the
+        # jti) so the SOC's staleness oracle can cross-check it against
+        # revocation events
+        cached_hit = getattr(self.validator, "last_hit", False)
         self.log_event(str(claims["sub"]), "zenith.register",
-            service, Outcome.SUCCESS, client=request.source,
+            service, Outcome.CACHED if cached_hit else Outcome.SUCCESS,
+            client=request.source, jti=str(claims["jti"]),
         )
         return HttpResponse.json({"registered": service,
                                   "expires_at": self.tunnels[service].expires_at})

@@ -1,0 +1,466 @@
+"""Unit tests for the scale-out subsystem (repro.scale).
+
+Covers the bounded-load consistent-hash ring (deterministic placement,
+cap enforcement, minimal movement on membership change), the TTL cache
+(expiry, negative caching, single-flight stampede protection, tag and
+bus invalidation), the replica pool + load balancer policies and
+failover, and the metric-driven autoscaler.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.audit import AuditLog
+from repro.clock import SimClock
+from repro.errors import ServiceUnavailable, SignatureInvalid
+from repro.net import (
+    HttpRequest,
+    HttpResponse,
+    Network,
+    OperatingDomain,
+    Service,
+    Zone,
+    route,
+)
+from repro.scale import (
+    Autoscaler,
+    BoundedLoadRing,
+    ConsistentHashPolicy,
+    InvalidationBus,
+    LeastOutstandingPolicy,
+    LoadBalancer,
+    LoadInFlight,
+    ReplicaPool,
+    RoundRobinPolicy,
+    TtlCache,
+)
+from repro.telemetry import Telemetry
+
+
+# ======================================================================
+# consistent-hash ring
+# ======================================================================
+class TestBoundedLoadRing:
+    def test_bound_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            BoundedLoadRing(["a"], bound=1.0)
+
+    def test_deterministic_placement_across_runs_and_orders(self):
+        # placement depends only on sha256, never on insertion order or
+        # Python hash randomisation — two rings built differently agree
+        members = [f"replica-{i}" for i in range(5)]
+        shuffled = list(members)
+        random.Random(7).shuffle(shuffled)
+        ring_a = BoundedLoadRing(members)
+        ring_b = BoundedLoadRing(shuffled)
+        rng = random.Random(42)
+        keys = [f"session-{rng.randrange(10**9)}" for _ in range(300)]
+        for key in keys:
+            assert ring_a.locate(key) == ring_b.locate(key)
+
+    def test_placement_spreads_across_members(self):
+        ring = BoundedLoadRing([f"r{i}" for i in range(4)], vnodes=64)
+        rng = random.Random(1)
+        owners = {ring.locate(f"k{rng.randrange(10**9)}") for _ in range(500)}
+        assert owners == {"r0", "r1", "r2", "r3"}
+
+    def test_bounded_load_cap_honoured(self):
+        # a pathologically hot key would pile onto one member without the
+        # cap; with it, no member ever exceeds ceil(c*(total+1)/n)
+        ring = BoundedLoadRing(["a", "b", "c"], bound=1.25)
+        for _ in range(30):
+            cap_before = ring.capacity()
+            member = ring.assign("the-one-hot-session")
+            assert ring.load(member) <= cap_before
+        assert sum(ring.load(m) for m in ring.members) == 30
+        # the hot key spilled beyond its pure owner
+        assert sum(1 for m in ring.members if ring.load(m) > 0) >= 2
+
+    def test_release_and_take(self):
+        ring = BoundedLoadRing(["a", "b"])
+        ring.take("a")
+        assert ring.load("a") == 1
+        ring.release("a")
+        ring.release("a")  # never goes negative
+        assert ring.load("a") == 0
+        with pytest.raises(KeyError):
+            ring.take("ghost")
+
+    def test_minimal_movement_on_join(self):
+        members = [f"r{i}" for i in range(4)]
+        ring = BoundedLoadRing(members)
+        rng = random.Random(9)
+        keys = [f"k{rng.randrange(10**9)}" for _ in range(600)]
+        before = {k: ring.locate(k) for k in keys}
+        ring.add("r4")
+        after = {k: ring.locate(k) for k in keys}
+        moved = [k for k in keys if before[k] != after[k]]
+        # expected fraction is 1/5; allow generous slack, but far below
+        # the ~4/5 a mod-N hash would reshuffle
+        assert len(moved) / len(keys) < 0.40
+        # every moved key moved *to* the joining node, nowhere else
+        assert all(after[k] == "r4" for k in moved)
+
+    def test_minimal_movement_on_leave(self):
+        members = [f"r{i}" for i in range(5)]
+        ring = BoundedLoadRing(members)
+        rng = random.Random(11)
+        keys = [f"k{rng.randrange(10**9)}" for _ in range(600)]
+        before = {k: ring.locate(k) for k in keys}
+        ring.remove("r2")
+        after = {k: ring.locate(k) for k in keys}
+        # only the departed member's keys move
+        for k in keys:
+            if before[k] != "r2":
+                assert after[k] == before[k]
+            else:
+                assert after[k] != "r2"
+
+
+# ======================================================================
+# TTL cache + invalidation bus
+# ======================================================================
+class Loader:
+    """Counting loader with a programmable outcome."""
+
+    def __init__(self, value="v"):
+        self.calls = 0
+        self.value = value
+        self.exc = None
+
+    def __call__(self):
+        self.calls += 1
+        if self.exc is not None:
+            raise self.exc
+        return self.value
+
+
+class TestTtlCache:
+    def test_hit_then_ttl_expiry(self):
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=10.0)
+        loader = Loader()
+        assert cache.get_or_load("k", loader) == "v"
+        assert cache.get_or_load("k", loader) == "v"
+        assert loader.calls == 1
+        assert cache.last_hit is True
+        clock.advance(10.0)
+        assert cache.get_or_load("k", loader) == "v"
+        assert loader.calls == 2
+        assert cache.stats.expirations == 1
+
+    def test_stampede_protection_one_loader_call(self):
+        # the CI cache-stampede regression: N concurrent (same-instant)
+        # misses on one key resolve to exactly one upstream load
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=60.0)
+        loader = Loader()
+        results = [cache.get_or_load("hot", loader) for _ in range(10)]
+        assert results == ["v"] * 10
+        assert loader.calls == 1
+        assert cache.stats.loads == 1
+        assert cache.stats.requests() == 10
+
+    def test_force_refresh_coalesces_to_one_fetch(self):
+        # N callers demanding min_fresh_at=now at the same instant (the
+        # JWKS-rotation storm) produce exactly one upstream fetch
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=600.0)
+        loader = Loader()
+        cache.get_or_load("jwks", loader)
+        clock.advance(5.0)
+        now = clock.now()
+        for _ in range(5):
+            cache.get_or_load("jwks", loader, min_fresh_at=now)
+        assert loader.calls == 2  # the priming load + one refresh
+        # followers are satisfied without another upstream fetch (either
+        # joining the flight or hitting the just-refreshed entry)
+        assert cache.stats.hits + cache.stats.coalesced == 4
+
+    def test_negative_caching(self):
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=60.0, negative_ttl=5.0,
+                         negative_errors=(SignatureInvalid,))
+        loader = Loader()
+        loader.exc = SignatureInvalid("forged")
+        with pytest.raises(SignatureInvalid):
+            cache.get_or_load("bad", loader)
+        with pytest.raises(SignatureInvalid):
+            cache.get_or_load("bad", loader)
+        assert loader.calls == 1
+        assert cache.stats.negative_hits == 1
+        clock.advance(5.0)
+        with pytest.raises(SignatureInvalid):
+            cache.get_or_load("bad", loader)
+        assert loader.calls == 2
+
+    def test_unexpected_errors_never_cached(self):
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=60.0,
+                         negative_errors=(SignatureInvalid,))
+        loader = Loader()
+        loader.exc = ServiceUnavailable("upstream down")
+        with pytest.raises(ServiceUnavailable):
+            cache.get_or_load("k", loader)
+        with pytest.raises(ServiceUnavailable):
+            cache.get_or_load("k", loader)
+        assert loader.calls == 2  # retried, not served from a poison entry
+
+    def test_reentrant_load_raises_in_flight(self):
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=60.0)
+
+        def recursive():
+            return cache.get_or_load("k", recursive_loader)
+
+        def recursive_loader():
+            return cache.get_or_load("k", lambda: "inner")
+
+        with pytest.raises(LoadInFlight):
+            recursive()
+
+    def test_ttl_of_bounds_entry_lifetime(self):
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=600.0)
+        cache.get_or_load("k", lambda: "v", ttl_of=lambda v: 3.0)
+        clock.advance(3.0)
+        assert cache.peek("k") is None
+
+    def test_tag_invalidation(self):
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=60.0)
+        cache.get_or_load("tok1", lambda: "a", tags_of=lambda v: ("jti-1",))
+        cache.get_or_load("tok2", lambda: "b", tags_of=lambda v: ("jti-2",))
+        assert cache.invalidate_tag("jti-1") == 1
+        assert cache.peek("tok1") is None
+        assert cache.peek("tok2") == "b"
+        assert cache.stats.invalidations == 1
+
+    def test_bus_binding_by_tag_key_and_clear(self):
+        clock = SimClock()
+        bus = InvalidationBus(clock)
+        tagged = TtlCache("tokens", clock, ttl=60.0)
+        keyed = TtlCache("jwks", clock, ttl=600.0)
+        tagged.bind(bus, "token.revoked", by_tag=True)
+        keyed.bind(bus, "jwks.rotated", by_tag=False)
+        tagged.get_or_load("tok", lambda: "v", tags_of=lambda v: ("jti-9",))
+        keyed.get_or_load("broker", lambda: "doc")
+
+        bus.publish("token.revoked", key="jti-9")
+        assert tagged.peek("tok") is None
+        assert keyed.peek("broker") == "doc"
+
+        bus.publish("jwks.rotated", key="broker")
+        assert keyed.peek("broker") is None
+
+        tagged.get_or_load("tok", lambda: "v2")
+        bus.publish("token.revoked")  # bare event flushes the cache
+        assert len(tagged) == 0
+        assert bus.published == 3
+        assert [topic for _, topic, _ in bus.history] == [
+            "token.revoked", "jwks.rotated", "token.revoked"]
+
+    def test_deterministic_eviction_at_capacity(self):
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=100.0, max_entries=2)
+        cache.get_or_load("soon", lambda: 1, ttl=5.0)
+        cache.get_or_load("late", lambda: 2, ttl=50.0)
+        cache.get_or_load("new", lambda: 3)
+        assert cache.peek("soon") is None  # soonest-expiring was evicted
+        assert cache.peek("late") == 2
+        assert cache.peek("new") == 3
+
+
+# ======================================================================
+# replica pool + load balancer
+# ======================================================================
+class Origin(Service):
+    """Shared state backend the workers front."""
+
+    def __init__(self, name, clock):
+        super().__init__(name)
+        self.clock = clock
+        self.audit = AuditLog(f"{name}-audit")
+        self.calls = 0
+
+    @route("GET", "/ping")
+    def ping(self, request: HttpRequest) -> HttpResponse:
+        self.calls += 1
+        return HttpResponse.json({"pong": True})
+
+
+class Client(Service):
+    pass
+
+
+def _fabric():
+    clock = SimClock()
+    network = Network(clock)
+    origin = Origin("origin", clock)
+    network.attach(origin, OperatingDomain.FDS, Zone.ACCESS)
+    client = Client("client")
+    network.attach(client, OperatingDomain.FDS, Zone.ACCESS)
+    pool = ReplicaPool("svc", network, OperatingDomain.FDS, Zone.ACCESS,
+                       origin, max_replicas=8)
+    return clock, network, origin, client, pool
+
+
+class TestReplicaPoolAndBalancer:
+    def test_scale_to_attaches_and_detaches_endpoints(self):
+        clock, network, origin, client, pool = _fabric()
+        events = []
+        pool.on_membership(lambda ev, r: events.append((ev, r)))
+        pool.scale_to(3)
+        assert pool.replicas() == ["svc-r1", "svc-r2", "svc-r3"]
+        assert all(network.has_endpoint(r) for r in pool.replicas())
+        pool.scale_to(1)
+        assert pool.replicas() == ["svc-r1"]
+        assert not network.has_endpoint("svc-r2")
+        assert events == [("join", "svc-r1"), ("join", "svc-r2"),
+                          ("join", "svc-r3"), ("leave", "svc-r3"),
+                          ("leave", "svc-r2")]
+        assert pool.scale_to(99) == pool.max_replicas
+
+    def _balanced(self, pool, network, clock, policy):
+        lb = LoadBalancer("svc-lb", clock, pool, policy=policy)
+        network.attach(lb, OperatingDomain.FDS, Zone.ACCESS)
+        return lb
+
+    def test_round_robin_spreads_evenly(self):
+        clock, network, origin, client, pool = _fabric()
+        pool.scale_to(3)
+        lb = self._balanced(pool, network, clock, RoundRobinPolicy())
+        for _ in range(6):
+            assert client.call("svc-lb", HttpRequest("GET", "/ping")).ok
+        assert origin.calls == 6
+        assert [pool.worker(r).served for r in pool.replicas()] == [2, 2, 2]
+        assert lb.routed == 6
+
+    def test_least_outstanding_spreads_evenly(self):
+        clock, network, origin, client, pool = _fabric()
+        pool.scale_to(4)
+        lb = self._balanced(pool, network, clock, LeastOutstandingPolicy())
+        for _ in range(8):
+            assert client.call("svc-lb", HttpRequest("GET", "/ping")).ok
+        assert [pool.worker(r).served for r in pool.replicas()] == [2, 2, 2, 2]
+
+    def test_consistent_hash_affinity(self):
+        clock, network, origin, client, pool = _fabric()
+        pool.scale_to(4)
+        policy = ConsistentHashPolicy(
+            lambda req: req.headers.get("Authorization"))
+        lb = self._balanced(pool, network, clock, policy)
+        served_before = None
+        for _ in range(5):
+            req = HttpRequest("GET", "/ping",
+                              headers={"Authorization": "Bearer sess-1"})
+            assert client.call("svc-lb", req).ok
+        pinned = [r for r in pool.replicas() if pool.worker(r).served]
+        assert len(pinned) == 1  # one session, one replica
+        # different keys spread over the fleet
+        for i in range(40):
+            req = HttpRequest("GET", "/ping",
+                              headers={"Authorization": f"Bearer s{i}"})
+            assert client.call("svc-lb", req).ok
+        assert sum(1 for r in pool.replicas() if pool.worker(r).served) >= 3
+
+    def test_down_replica_is_skipped(self):
+        clock, network, origin, client, pool = _fabric()
+        pool.scale_to(3)
+        lb = self._balanced(pool, network, clock, RoundRobinPolicy())
+        network.endpoint("svc-r2").up = False
+        for _ in range(6):
+            assert client.call("svc-lb", HttpRequest("GET", "/ping")).ok
+        assert pool.worker("svc-r2").served == 0
+        assert origin.calls == 6
+
+    def test_all_replicas_down_exhausts(self):
+        clock, network, origin, client, pool = _fabric()
+        pool.scale_to(2)
+        lb = self._balanced(pool, network, clock, RoundRobinPolicy())
+        for r in pool.replicas():
+            network.endpoint(r).up = False
+        with pytest.raises(ServiceUnavailable):
+            client.call("svc-lb", HttpRequest("GET", "/ping"))
+        assert lb.exhausted == 1
+
+    def test_failing_replica_trips_breaker_and_fails_over(self):
+        clock, network, origin, client, pool = _fabric()
+        pool.scale_to(2)
+        lb = self._balanced(pool, network, clock, RoundRobinPolicy())
+        bad = pool.worker("svc-r1")
+
+        def explode(request):
+            raise ServiceUnavailable("svc-r1 wedged")
+
+        bad.handle = explode
+        for _ in range(12):
+            assert client.call("svc-lb", HttpRequest("GET", "/ping")).ok
+        assert lb.failovers > 0
+        assert lb._breaker("svc-r1").state == "open"
+        # once open, the wedged replica is skipped without an attempt
+        failovers_when_open = lb.failovers
+        for _ in range(4):
+            assert client.call("svc-lb", HttpRequest("GET", "/ping")).ok
+        assert lb.failovers == failovers_when_open
+
+
+# ======================================================================
+# autoscaler
+# ======================================================================
+class TestAutoscaler:
+    def _setup(self, **kwargs):
+        clock, network, origin, client, pool = _fabric()
+        pool.scale_to(1)
+        tele = Telemetry(clock)
+        scaler = Autoscaler(clock, pool, tele, loss_up=0.02,
+                            loss_down=0.002, down_after=2, **kwargs)
+        return clock, pool, tele, scaler
+
+    def test_grows_on_loss_and_shrinks_when_quiet(self):
+        clock, pool, tele, scaler = self._setup()
+        tele.hop_requests.inc(10, dst="svc-r1", outcome="success")
+        tele.hop_requests.inc(5, dst="svc-r1", outcome="shed")
+        decision = scaler.evaluate()
+        assert decision.direction == "grow"
+        assert pool.size() == 2
+        assert tele.pool_size.value(pool="svc") == 2.0
+        # two quiet windows with real traffic -> shrink by one
+        for _ in range(2):
+            tele.hop_requests.inc(20, dst="svc-r1", outcome="success")
+            decision = scaler.evaluate()
+        assert decision.direction == "shrink"
+        assert pool.size() == 1
+        assert [d.direction for d in scaler.decisions] == [
+            "grow", "hold", "shrink"]
+
+    def test_idle_windows_do_not_shrink(self):
+        clock, pool, tele, scaler = self._setup()
+        pool.scale_to(2)
+        for _ in range(5):
+            assert scaler.evaluate().direction == "hold"
+        assert pool.size() == 2  # no traffic is not evidence of headroom
+
+    def test_slo_page_forces_grow(self):
+        clock, pool, tele, scaler = self._setup(watch_services=("svc",))
+
+        class Page:
+            service = "svc"
+
+        scaler._on_page(Page())
+        decision = scaler.evaluate()
+        assert decision.direction == "grow"
+        assert decision.reason == "slo burn-rate page"
+        assert pool.size() == 2
+
+    def test_ticker_runs_on_sim_clock(self):
+        clock, pool, tele, scaler = self._setup(interval=5.0)
+        scaler.start()
+        tele.hop_requests.inc(50, dst="svc-r1", outcome="shed")
+        clock.run_until(6.0)
+        assert pool.size() == 2
+        scaler.stop()
+        assert clock.pending_events() in (0, 1)  # ticker cancelled
