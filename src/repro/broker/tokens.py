@@ -203,6 +203,12 @@ class TokenService:
     def is_revoked(self, jti: str) -> bool:
         return jti in self._revoked
 
+    def revoked_jtis(self) -> frozenset:
+        """Snapshot of every revoked jti — the resync source for a
+        recovering region's revocation view (a region that was down
+        missed the bus traffic; it reloads the full set on rejoin)."""
+        return frozenset(self._revoked)
+
     def is_invalid(self, jti: str) -> bool:
         """Durability-mode revocation oracle: revoked OR simply unknown.
 

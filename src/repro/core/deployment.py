@@ -56,6 +56,15 @@ from repro.net import Firewall, Network, OperatingDomain, Service, Zone
 from repro.oidc import make_url
 from repro.policy import PolicyEngine, standard_zero_trust_rules
 from repro.portal import UserPortal
+from repro.region import (
+    DOWN,
+    GeoRouter,
+    Region,
+    RegionBusAdapter,
+    RegionConfig,
+    RegionDirectory,
+    ReplicatedInvalidationBus,
+)
 from repro.resilience import (
     AdmissionController,
     DurabilityStore,
@@ -78,6 +87,7 @@ from repro.scale import (
 )
 from repro.siem import (
     Alert,
+    CacheStalenessRule,
     KillSwitchController,
     LogForwarder,
     SecurityOperationsCentre,
@@ -174,6 +184,12 @@ class IsambardDeployment:
     invalidation_bus: Optional[InvalidationBus] = None
     caches: Dict[str, TtlCache] = field(default_factory=dict)
     autoscaler: Optional[Autoscaler] = None
+    # multi-region tier (repro.region); all None/empty unless regions on
+    region_config: Optional[RegionConfig] = None
+    region_directory: Optional[RegionDirectory] = None
+    geo_router: Optional[GeoRouter] = None
+    region_bus: Optional[ReplicatedInvalidationBus] = None
+    region_autoscalers: List[Autoscaler] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def validator_for(self, audience: str) -> RbacTokenValidator:
@@ -201,9 +217,13 @@ class IsambardDeployment:
         already promoted the standby, the ex-primary instead rejoins as
         the new standby."""
         if self.failover is not None:
-            pair = self.failover.pairs.get(name)
-            if pair is not None and pair.promoted:
-                return self.failover.rejoin(name, pair.primary)
+            # scale/region deployments supervise the state backend under
+            # its "<name>-origin" endpoint; restart of the public name
+            # must still find the pair or the ex-primary never rejoins
+            for pair_name in (name, f"{name}-origin"):
+                pair = self.failover.pairs.get(pair_name)
+                if pair is not None and pair.promoted:
+                    return self.failover.rejoin(pair_name, pair.primary)
         if name not in self.crash_targets:
             raise ConfigurationError(f"no crash hooks registered for {name!r}")
         return self.crash_targets[name][1]()
@@ -295,6 +315,7 @@ def build_isambard(
     failover: bool = False,
     telemetry: bool = True,
     scale: Union[bool, ScaleConfig] = False,
+    regions: Union[bool, RegionConfig] = False,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
 
@@ -352,7 +373,26 @@ def build_isambard(
     so token revocations and JWKS rotations evict synchronously, before
     the revoking call returns.  Pass a :class:`~repro.scale.ScaleConfig`
     to size the pool/TTLs or enable the metric-driven autoscaler.
+
+    ``regions`` turns on the multi-region active-active tier (PR 6,
+    implies scale + durability): each named region runs its own replica
+    pool, journal and invalidation-bus shard behind a latency-aware
+    :class:`~repro.region.GeoRouter` on the public ``broker`` endpoint.
+    Revocations stay synchronous *in-region* and replicate to peers
+    asynchronously under the config's advertised ``staleness_bound``;
+    region loss and inter-region partitions are injectable through the
+    chaos harness (``faults.region_down`` / ``faults.region_partition``)
+    with fencing epochs arbitrating issuance after recovery.  Pass a
+    :class:`~repro.region.RegionConfig` to name the regions and set the
+    contract.
     """
+    region_cfg: Optional[RegionConfig] = None
+    if regions:
+        region_cfg = (regions if isinstance(regions, RegionConfig)
+                      else RegionConfig())
+        durability = True
+        if not scale:
+            scale = True
     if failover:
         durability = True
     clock = SimClock(start=0.0)
@@ -445,13 +485,31 @@ def build_isambard(
     # Publication is synchronous and in-order (inside the revoking call),
     # so a cached ALLOW can never outlive a revocation or a key rotation.
     bus: Optional[InvalidationBus] = None
+    rbus: Optional[ReplicatedInvalidationBus] = None
     token_cache = jwks_cache = introspect_cache = cert_cache = None
     if scale_cfg is not None:
-        bus = InvalidationBus(clock)
-        broker.tokens.bus = bus
-        broker.invalidation_bus = bus
+        if region_cfg is not None:
+            # multi-region: one bus shard per region; local publishes stay
+            # synchronous (preserving the in-region guarantee) and fan out
+            # to peers after replication_delay.  The adapter routes each
+            # publish to whichever region is serving the revoking request
+            # (falling back to home), so the caches below — which live in
+            # the home shard — keep their synchronous eviction for
+            # home-region traffic.
+            rbus = ReplicatedInvalidationBus(
+                clock, region_cfg.names,
+                replication_delay=region_cfg.replication_delay,
+                telemetry=tele,
+            )
+            bus = rbus.local[region_cfg.home]
+            publisher = RegionBusAdapter(rbus, region_cfg.home)
+        else:
+            bus = InvalidationBus(clock)
+            publisher = bus
+        broker.tokens.bus = publisher
+        broker.invalidation_bus = publisher
         for provider in (myaccessid, lastresort, admin_idp, *idps.values()):
-            provider.invalidation_bus = bus
+            provider.invalidation_bus = publisher
         if scale_cfg.caching:
             token_cache = TtlCache(
                 "token-decisions", clock, ttl=scale_cfg.decision_ttl,
@@ -569,7 +627,14 @@ def build_isambard(
         staleness_window=staleness_window,
     )
     if scale_cfg is not None:
-        jupyter.introspection_cache = introspect_cache
+        # In region mode the MDC-side cache would break the staleness
+        # contract: it is bound to the *home* bus shard, so a revocation
+        # published from another region would only evict it after
+        # replication — or never, across a partition.  Introspections
+        # round-trip to the geo-router instead and the per-region caches
+        # (TTL clamped to the bound) absorb the load.
+        if region_cfg is None:
+            jupyter.introspection_cache = introspect_cache
         login_sshd.cert_cache = cert_cache
     network.attach(jupyter, OperatingDomain.MDC, Zone.HPC)
 
@@ -775,8 +840,12 @@ def build_isambard(
     broker_pool: Optional[ReplicaPool] = None
     broker_lb: Optional[LoadBalancer] = None
     autoscaler: Optional[Autoscaler] = None
+    lb_policy_factory = None
+    admission_factory = None
     if scale_cfg is not None:
-        lb_policy = {
+        # each balancer needs its own (stateful) policy instance, so the
+        # region tier can stamp one per region from the same config
+        lb_policy_factory = {
             "round-robin": RoundRobinPolicy,
             "least-outstanding": LeastOutstandingPolicy,
             "consistent-hash": lambda: ConsistentHashPolicy(
@@ -785,8 +854,7 @@ def build_isambard(
                 lambda req: (req.headers.get("Authorization")
                              or req.headers.get("Cookie")
                              or req.source)),
-        }[scale_cfg.policy]()
-        admission_factory = None
+        }[scale_cfg.policy]
         if overload_cfg is not None:
             # capacity moves to the pods: each worker gets its own
             # broker-sized bucket, so pool capacity is N x the rate
@@ -795,11 +863,13 @@ def build_isambard(
                 lambda worker_name: AdmissionController(
                     worker_name, clock, overload_cfg.broker))
         # the origin keeps its state and its outbound identity under
-        # "broker-origin"; the workers and the LB take over the public
-        # name, so every URL-based caller is load-balanced untouched
+        # "broker-origin"; the workers and the LB (or the geo-router in
+        # region mode) take over the public name, so every URL-based
+        # caller is load-balanced untouched
         network.detach("broker")
         network.attach(broker, OperatingDomain.FDS, Zone.ACCESS,
                        name="broker-origin")
+    if scale_cfg is not None and region_cfg is None:
         broker_pool = ReplicaPool(
             "broker", network, OperatingDomain.FDS, Zone.ACCESS, broker,
             min_replicas=scale_cfg.min_replicas,
@@ -808,7 +878,7 @@ def build_isambard(
         )
         broker_pool.scale_to(scale_cfg.broker_replicas)
         broker_lb = LoadBalancer(
-            "broker", clock, broker_pool, policy=lb_policy,
+            "broker", clock, broker_pool, policy=lb_policy_factory(),
             audit=logs["fds"],
             breaker_listener=(tele.on_breaker_transition
                               if tele is not None else None),
@@ -879,8 +949,8 @@ def build_isambard(
         if scale_cfg is not None:
             # a promoted standby must keep publishing invalidations, or
             # the caches would go quietly stale after a failover
-            broker_standby.tokens.bus = bus
-            broker_standby.invalidation_bus = bus
+            broker_standby.tokens.bus = publisher
+            broker_standby.invalidation_bus = publisher
         network.attach(broker_standby, OperatingDomain.FDS, Zone.ACCESS,
                        name="broker-standby")
         ca_standby = SshCertificateAuthority(
@@ -890,6 +960,64 @@ def build_isambard(
         ca_standby.adopt_journal(store.stream("ssh-ca"))
         network.attach(ca_standby, OperatingDomain.FDS, Zone.ACCESS,
                        name="ssh-ca-standby")
+
+    # --- multi-region tier: regions, directory, geo-router ---------------
+    region_dir: Optional[RegionDirectory] = None
+    geo_router: Optional[GeoRouter] = None
+    region_autoscalers: List[Autoscaler] = []
+    if region_cfg is not None:
+        region_dir = RegionDirectory(
+            clock, rbus,
+            heartbeat_interval=region_cfg.heartbeat_interval,
+            lag_check_interval=region_cfg.lag_check_interval,
+            audit=logs["fds"], telemetry=tele,
+            # recovering regions resync their revocation view from the
+            # *active* broker's authoritative token store
+            revoked_source=lambda: active_broker[0].tokens.revoked_jtis(),
+        )
+        for rname in region_cfg.names:
+            region = Region(
+                rname, clock, network, OperatingDomain.FDS, Zone.ACCESS,
+                broker, rbus, store.stream(f"region-{rname}"),
+                replicas=region_cfg.replicas_per_region,
+                min_replicas=scale_cfg.min_replicas,
+                max_replicas=scale_cfg.max_replicas,
+                introspection_ttl=scale_cfg.introspection_ttl,
+                staleness_bound=region_cfg.staleness_bound,
+                admission_factory=admission_factory,
+                lb_policy=lb_policy_factory(),
+                telemetry=tele, audit=logs["fds"],
+                breaker_listener=(tele.on_breaker_transition
+                                  if tele is not None else None),
+            )
+            region_dir.add(region)
+            if scale_cfg.autoscale and tele is not None:
+                ras = Autoscaler(
+                    clock, region.pool, tele,
+                    interval=scale_cfg.autoscale_interval,
+                    watch_services=("broker",),
+                    audit=logs["fds"],
+                    audit_source=f"autoscaler-{rname}",
+                )
+                ras.start()
+                region_autoscalers.append(ras)
+        geo_router = GeoRouter(
+            "broker", clock, region_dir,
+            inter_region_latency=region_cfg.inter_region_latency,
+            pins=dict(region_cfg.client_regions),
+            audit=logs["fds"], telemetry=tele,
+        )
+        network.attach(geo_router, OperatingDomain.FDS, Zone.ACCESS,
+                       name="broker")
+        edge.register_origin("broker", geo_router)
+        region_dir.register_fault_hooks(faults)
+        region_dir.start()
+        # cached serves inside the advertised window are the contract,
+        # not an incident: the staleness detector tolerates them and the
+        # RegionLagRule takes over past the bound
+        for rule in soc.rules:
+            if isinstance(rule, CacheStalenessRule):
+                rule.tolerance = region_cfg.staleness_bound
 
     # --- crash/restart hooks (chaos `crash` faults + dri.crash/restart) --
     crash_targets: Dict[str, tuple] = {}
@@ -912,7 +1040,27 @@ def build_isambard(
 
     for ep_name in ("portal", "ssh-ca", "idp-lastresort"):
         crash_targets[ep_name] = _service_target(ep_name)
-    if broker_pool is None:
+    if region_cfg is not None:
+        # region mode: "crashing the broker" kills the shared state
+        # backend and takes every region down with it (total outage);
+        # the geo-router keeps answering so callers see unavailability.
+        # For single-region loss use faults.region_down() instead.
+        origin_crash_r, origin_restart_r = _service_target("broker-origin")
+
+        def _crash_broker_regions() -> None:
+            origin_crash_r()
+            for region in region_dir.regions():
+                region_dir.region_down(region.name)
+
+        def _restart_broker_regions():
+            report = origin_restart_r()
+            for region in region_dir.regions():
+                region_dir.region_up(region.name)
+            return report
+
+        crash_targets["broker"] = (
+            _crash_broker_regions, _restart_broker_regions)
+    elif broker_pool is None:
         crash_targets["broker"] = _service_target("broker")
     else:
         # in scale mode "crashing the broker" kills the shared state
@@ -985,9 +1133,14 @@ def build_isambard(
         validator_factory=validator_for, telemetry=tele,
         scale=scale_cfg, broker_pool=broker_pool, broker_lb=broker_lb,
         invalidation_bus=bus, autoscaler=autoscaler,
+        region_config=region_cfg, region_directory=region_dir,
+        geo_router=geo_router, region_bus=rbus,
+        region_autoscalers=region_autoscalers,
         caches=({} if token_cache is None else {
             "token-decisions": token_cache, "jwks": jwks_cache,
             "introspection": introspect_cache, "ssh-certs": cert_cache,
+            **({f"introspection-{r.name}": r.introspection_cache
+                for r in region_dir.regions()} if region_dir else {}),
         }),
     )
     if failover:
@@ -997,13 +1150,29 @@ def build_isambard(
         def _promote_broker(standby) -> None:
             active_broker[0] = standby
             dri.broker = standby
-            if broker_pool is not None:
+            if region_dir is not None:
+                # every region's worker fleet re-points at the promoted
+                # state backend, and regions downed by the backend crash
+                # come back serving — under *fresh* region epochs (the
+                # crash fenced the old generation), with caches cleared
+                # and revocation views resynced from the promoted store
+                for region in region_dir.regions():
+                    region.pool.origin = standby
+                    for replica in region.pool.replicas():
+                        region.pool.worker(replica).origin = standby
+                    if region.state == DOWN:
+                        region_dir.region_up(region.name)
+            elif broker_pool is not None:
                 # the LB keeps the public endpoint; the worker fleet just
                 # re-points at the promoted state backend (fencing still
-                # holds: the deposed origin can no longer commit)
+                # holds: the deposed origin can no longer commit).  The
+                # pods themselves never died — they went dark because the
+                # backend did — so they resume serving immediately
                 broker_pool.origin = standby
                 for replica in broker_pool.replicas():
                     broker_pool.worker(replica).origin = standby
+                    if network.has_endpoint(replica):
+                        network.endpoint(replica).up = True
             else:
                 edge.register_origin("broker", standby)
 
@@ -1012,7 +1181,9 @@ def build_isambard(
             dri.ssh_ca = standby
 
         failover_ctl.register(
-            "broker-origin" if broker_pool is not None else "broker",
+            "broker-origin"
+            if (broker_pool is not None or region_dir is not None)
+            else "broker",
             broker, broker_standby, standby_name="broker-standby",
             domain=OperatingDomain.FDS, zone=Zone.ACCESS,
             on_promote=_promote_broker)

@@ -236,12 +236,17 @@ class Service:
                     attempts_before = self.resilience.metrics.attempts
         try:
             if self.resilience is not None:
+                # the request's absolute deadline caps retry waits: the
+                # kit abandons rather than sleeping past it (satellite
+                # fix — a backoff that outlives the deadline is pure
+                # wasted simulated time)
                 response = self.resilience.call(
                     lambda: self.network.request(
                         self.endpoint.name, dst, request, port=port,
                         encrypted=encrypted,
                     ),
                     dst=dst,
+                    deadline=request.deadline,
                 )
             else:
                 response = self.network.request(
@@ -301,6 +306,9 @@ class Service:
         if self.endpoint is not None:
             domain = str(self.endpoint.domain)
             zone = str(self.endpoint.zone)
+        region = getattr(self, "region_name", "")
+        if region and "region" not in attrs:
+            attrs["region"] = region
         if "trace_id" not in attrs:
             for inbound in reversed(self._serving):
                 tid = trace_id_from_headers(inbound.headers)

@@ -1,0 +1,126 @@
+"""Latency-aware geo-routing onto the nearest healthy region.
+
+The :class:`GeoRouter` owns the public ``broker`` endpoint name in a
+multi-region deployment: every URL-based caller (the edge, Jupyter's
+introspection, the portal's authz queries) lands here untouched, is
+assigned a **home region** (an explicit pin from the deployment's
+``client_regions`` map, else a stable hash of the calling endpoint) and
+is forwarded to that region's balancer.  When the home region is down,
+fail-closed, or unreachable across a partition, the router *re-routes*
+to the next serving region — charging the cross-region latency so the
+re-routed p99 is honest — and audits the detour.
+
+Partition semantics mirror the replication bus: a severed link between
+the client's home region and a peer severs routing too (the client's
+traffic cannot magically cross a partition the revocations cannot), so
+a partitioned minority keeps serving its own clients within the
+staleness bound and fails closed past it, rather than silently serving
+them from the other side.
+
+Failover rules match the :class:`~repro.scale.LoadBalancer`: move on
+``ServiceUnavailable`` (region refusals, dead replicas, injected
+faults) and ``RateLimited`` (a shedding region spreads its surge), but
+never on ``DeadlineExceeded`` — expired work is expired in every
+region.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from ..audit import Outcome
+from ..errors import DeadlineExceeded, RateLimited, ServiceUnavailable
+from ..net.http import HttpRequest, HttpResponse, Service
+
+__all__ = ["GeoRouter"]
+
+
+class GeoRouter(Service):
+    """The multi-region front door (public endpoint name ``broker``)."""
+
+    def __init__(
+        self,
+        name: str,
+        clock,
+        directory,
+        *,
+        inter_region_latency: float = 0.06,
+        pins: Optional[Dict[str, str]] = None,
+        audit=None,
+        telemetry=None,
+    ) -> None:
+        super().__init__(name)
+        self.clock = clock
+        self.directory = directory
+        self.inter_region_latency = float(inter_region_latency)
+        # endpoint name -> region pin; unpinned callers hash
+        self.pins: Dict[str, str] = dict(pins or {})
+        self.audit = audit
+        self.telemetry = telemetry
+        self.routed = 0
+        self.reroutes = 0
+        self.exhausted = 0
+
+    # ------------------------------------------------------------------
+    def home_region(self, source: str) -> str:
+        """The caller's nearest region: explicit pin, else stable hash."""
+        pinned = self.pins.get(source)
+        if pinned is not None:
+            return pinned
+        names = self.directory.names()
+        digest = hashlib.sha256(source.encode("utf-8")).digest()
+        return names[digest[0] % len(names)]
+
+    def pin(self, source: str, region: str) -> None:
+        self.pins[source] = region
+
+    # ------------------------------------------------------------------
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        admitted = self._admit(request)
+        self._serving.append(request)
+        try:
+            return self._route(request)
+        finally:
+            self._serving.pop()
+            if admitted:
+                self.admission.release()
+
+    def _route(self, request: HttpRequest) -> HttpResponse:
+        home = self.home_region(request.source or "")
+        order = [home] + sorted(
+            n for n in self.directory.names() if n != home)
+        last_exc: Optional[Exception] = None
+        for rname in order:
+            region = self.directory.region(rname)
+            if not region.serving:
+                continue
+            if rname != home and not self.directory.linked(home, rname):
+                # routing is severed with replication: the home side of
+                # a partition cannot reach the far side's brokers
+                continue
+            if rname != home:
+                # honest latency: a detour crosses the inter-region link
+                self.clock.advance(self.inter_region_latency)
+                self.reroutes += 1
+                if self.telemetry is not None:
+                    self.telemetry.region_reroutes.inc(
+                        home=home, served_by=rname)
+                if self.audit is not None:
+                    self.log_event(
+                        request.source or "system", "region.reroute", rname,
+                        Outcome.INFO, home=home, path=request.path)
+            try:
+                response = self.call(region.endpoint_name, request)
+            except DeadlineExceeded:
+                raise
+            except (RateLimited, ServiceUnavailable) as exc:
+                last_exc = exc
+                continue
+            self.routed += 1
+            return response
+        self.exhausted += 1
+        if last_exc is not None:
+            raise last_exc
+        raise ServiceUnavailable(
+            f"{self.name}: no serving region reachable from {home!r}")

@@ -23,7 +23,13 @@ Supported fault kinds (per endpoint, or per (domain, zone) flow):
   both directions, regardless of endpoint health;
 * **crash** — process death with state loss: the endpoint goes down AND
   its in-memory state is wiped (via a hook the deployment registers), so
-  recovery exercises the durability layer instead of resuming silently.
+  recovery exercises the durability layer instead of resuming silently;
+* **region_down** — a whole deployment region dies at once: every replica
+  endpoint goes down and the region journal is fenced, via hooks the
+  multi-region deployment registers (see :mod:`repro.region`);
+* **region partition** — inter-region replication and cross-region
+  routing are severed both ways between two named regions, with a
+  deterministic heal that flushes queued replication in publish order.
 
 Injected failures raise :class:`~repro.errors.FaultInjected`, a subclass
 of :class:`~repro.errors.ServiceUnavailable` — clients cannot tell chaos
@@ -47,6 +53,7 @@ LATENCY = "latency"
 FLAP = "flap"
 PARTITION = "partition"
 CRASH = "crash"
+REGION_DOWN = "region_down"
 
 
 @dataclass
@@ -109,6 +116,13 @@ class FaultInjector:
         # the deployment (only it knows how to wipe and recover a service)
         self._crash_hooks: Dict[str, Tuple[object, object]] = {}
         self.crashes_injected = 0
+        # region hooks: region -> (down_fn, up_fn); plus one pair of link
+        # hooks (sever_fn, heal_fn) for inter-region partitions — both
+        # registered by the multi-region deployment tier
+        self._region_hooks: Dict[str, Tuple[object, object]] = {}
+        self._region_link_hooks: Optional[Tuple[object, object]] = None
+        self.regions_downed = 0
+        self.region_partitions = 0
 
     # ------------------------------------------------------------------
     # scheduling faults
@@ -207,6 +221,105 @@ class FaultInjector:
         if restart_after is not None:
             self.clock.call_at(start + restart_after, restart_fn)
         return fault
+
+    # ------------------------------------------------------------------
+    # region-scale faults (multi-region deployments register the hooks)
+    # ------------------------------------------------------------------
+    def register_region_hooks(self, region: str, down_fn, up_fn) -> None:
+        """Teach the injector how to kill and recover a whole region.
+
+        ``down_fn`` must take every replica endpoint in the region down
+        and fence its journal epoch; ``up_fn`` must bring the region back
+        under a *fresh* epoch with caches flushed and revocation state
+        resynced from the authoritative store.
+        """
+        self._region_hooks[region] = (down_fn, up_fn)
+
+    def register_region_link_hooks(self, sever_fn, heal_fn) -> None:
+        """Register the pair that severs/heals inter-region links.
+
+        Both take ``(region_a, region_b)``; sever must cut bus
+        replication *and* cross-region routing in both directions, heal
+        must restore them and flush parked replication deterministically.
+        """
+        self._region_link_hooks = (sever_fn, heal_fn)
+
+    def region_down(self, region: str, *, at: Optional[float] = None,
+                    restore_after: Optional[float] = None) -> Fault:
+        """Kill an entire region: every replica down + journal fenced.
+
+        Mirrors :meth:`crash` scheduling: ``at`` defers the kill,
+        ``restore_after`` schedules recovery that many seconds later;
+        omit it to leave the region down until recovered explicitly.
+        """
+        if region not in self._region_hooks:
+            raise ConfigurationError(
+                f"no region hooks registered for region {region!r}")
+        down_fn, up_fn = self._region_hooks[region]
+        start = self.clock.now() if at is None else at
+        fault = self._add(Fault(REGION_DOWN, f"region:{region}", start,
+                                restore_after))
+
+        def _fire() -> None:
+            if fault.cleared:
+                return
+            fault.hits += 1
+            self.regions_downed += 1
+            down_fn()
+
+        if start <= self.clock.now():
+            _fire()
+        else:
+            self.clock.call_at(start, _fire)
+        if restore_after is not None:
+            self.clock.call_at(start + restore_after, up_fn)
+        return fault
+
+    def region_partition(self, region_a: str, region_b: str, *,
+                         at: Optional[float] = None,
+                         duration: Optional[float] = None) -> Fault:
+        """Sever bus replication and cross-region routing between two
+        regions, both ways.  With ``duration`` the heal is scheduled
+        deterministically; otherwise call the returned fault's hooks via
+        :meth:`heal_region_partition` (or let the deployment heal).
+        """
+        if self._region_link_hooks is None:
+            raise ConfigurationError("no region link hooks registered")
+        sever_fn, heal_fn = self._region_link_hooks
+        start = self.clock.now() if at is None else at
+        # loc_a/loc_b are recorded for observability; the "region" marker
+        # never equals an OperatingDomain, so perturb() ignores this fault
+        fault = self._add(Fault(PARTITION, None, start, duration,
+                                loc_a=("region", region_a),
+                                loc_b=("region", region_b)))
+
+        def _sever() -> None:
+            if fault.cleared:
+                return
+            fault.hits += 1
+            self.region_partitions += 1
+            sever_fn(region_a, region_b)
+
+        if start <= self.clock.now():
+            _sever()
+        else:
+            self.clock.call_at(start, _sever)
+        if duration is not None:
+            def _heal() -> None:
+                heal_fn(region_a, region_b)
+                fault.clear()
+            self.clock.call_at(start + duration, _heal)
+        return fault
+
+    def heal_region_partition(self, region_a: str, region_b: str) -> None:
+        """Explicitly heal a previously severed inter-region link."""
+        if self._region_link_hooks is None:
+            raise ConfigurationError("no region link hooks registered")
+        self._region_link_hooks[1](region_a, region_b)
+        for f in self.faults:
+            if (f.kind == PARTITION and f.loc_a == ("region", region_a)
+                    and f.loc_b == ("region", region_b) and not f.cleared):
+                f.clear()
 
     def clear(self, fault: Optional[Fault] = None) -> None:
         """End one fault, or every scheduled fault."""

@@ -99,6 +99,8 @@ class ResilienceMetrics:
     rate_limited: int = 0          # attempts shed by admission control
     honoured_retry_afters: int = 0  # waits taken from a server hint
     expired: int = 0               # calls abandoned on DeadlineExceeded
+    deadline_abandons: int = 0     # retries skipped: wait would overrun
+                                   # the request's remaining deadline
     by_destination: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> Dict[str, object]:
@@ -109,6 +111,7 @@ class ResilienceMetrics:
             "rate_limited": self.rate_limited,
             "honoured_retry_afters": self.honoured_retry_afters,
             "expired": self.expired,
+            "deadline_abandons": self.deadline_abandons,
         }
 
 
@@ -122,6 +125,7 @@ def call_with_resilience(
     metrics: Optional[ResilienceMetrics] = None,
     limiter: Optional[AimdLimiter] = None,
     label: str = "",
+    deadline: Optional[float] = None,
 ):
     """Run ``fn`` under ``policy``, consulting ``breaker`` before each try.
 
@@ -141,6 +145,13 @@ def call_with_resilience(
     * an attached :class:`AimdLimiter` paces each attempt (its wait
       advances the clock like any backoff) and is fed every outcome so
       the client's send rate converges on what the server admits.
+
+    ``deadline`` is the *request's* absolute deadline (simulated time),
+    distinct from ``policy.deadline`` (a per-call elapsed-time budget).
+    A backoff or ``retry_after`` wait that would run at or past it is
+    never taken: the last transient error re-raises immediately instead
+    of the client sleeping through the deadline only to fail with
+    :class:`DeadlineExceeded` after a pointless wait.
     """
     if metrics is not None:
         metrics.calls += 1
@@ -190,6 +201,15 @@ def call_with_resilience(
             else:
                 backoff_step += 1
                 delay = policy.backoff(backoff_step, rng)
+            if deadline is not None and \
+                    clock.now() + delay >= deadline:
+                # the wait itself would consume the request's remaining
+                # deadline; abandon now with the real error instead of
+                # sleeping into a guaranteed DeadlineExceeded
+                if metrics is not None:
+                    metrics.failures += 1
+                    metrics.deadline_abandons += 1
+                raise
             if policy.deadline is not None and \
                     clock.now() - start + delay > policy.deadline:
                 if metrics is not None:
@@ -272,7 +292,8 @@ class Resilience:
     def limiters(self) -> Dict[str, AimdLimiter]:
         return dict(self._limiters)
 
-    def call(self, fn: Callable[[], object], dst: str = ""):
+    def call(self, fn: Callable[[], object], dst: str = "",
+             deadline: Optional[float] = None):
         self.metrics.by_destination[dst] = \
             self.metrics.by_destination.get(dst, 0) + 1
         return call_with_resilience(
@@ -280,6 +301,7 @@ class Resilience:
             breaker=self.breaker_for(dst), metrics=self.metrics,
             limiter=self.limiter_for(dst),
             label=f"{self.name}->{dst}",
+            deadline=deadline,
         )
 
 

@@ -85,6 +85,7 @@ class ReplicaPool:
         min_replicas: int = 1,
         max_replicas: int = 8,
         admission_factory: Optional[Callable[[str], object]] = None,
+        worker_factory: Optional[Callable[[str, Service], ReplicaWorker]] = None,
     ) -> None:
         self.name = name
         self.network = network
@@ -94,6 +95,7 @@ class ReplicaPool:
         self.min_replicas = min_replicas
         self.max_replicas = max_replicas
         self.admission_factory = admission_factory
+        self.worker_factory = worker_factory
         self._workers: Dict[str, ReplicaWorker] = {}
         self._next_index = 0
         self._listeners: List[Callable[[str, str], None]] = []
@@ -119,7 +121,8 @@ class ReplicaPool:
                              f"({self.max_replicas}) replicas")
         self._next_index += 1
         name = f"{self.name}-r{self._next_index}"
-        worker = ReplicaWorker(name, self.origin)
+        factory = self.worker_factory or ReplicaWorker
+        worker = factory(name, self.origin)
         if self.admission_factory is not None:
             worker.admission = self.admission_factory(name)
         self.network.attach(worker, self.domain, self.zone, name=name)

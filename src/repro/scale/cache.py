@@ -54,6 +54,7 @@ class CacheStats:
     coalesced: int = 0
     invalidations: int = 0
     expirations: int = 0
+    negative_purged: int = 0  # negative entries killed by tag/clear
 
     def requests(self) -> int:
         return self.hits + self.negative_hits + self.misses + self.coalesced
@@ -118,6 +119,8 @@ class TtlCache:
         self._entries: Dict[Any, _Entry] = {}
         self._by_tag: Dict[str, Set[Any]] = {}
         self._flights: Dict[Any, _Flight] = {}
+        # live bus subscriptions keyed by (bus, topic); see bind()/unbind()
+        self._bindings: Dict[Tuple[int, str], Tuple["InvalidationBus", "_Subscription"]] = {}
         # the caller can read this right after get_or_load to stamp a
         # CACHED audit outcome on decisions served without fresh work
         self.last_hit = False
@@ -133,6 +136,8 @@ class TtlCache:
         ttl: Optional[float] = None,
         ttl_of: Optional[Callable[[Any], float]] = None,
         tags_of: Optional[Callable[[Any], Tuple[str, ...]]] = None,
+        negative_tags_of: Optional[
+            Callable[[BaseException], Tuple[str, ...]]] = None,
         min_fresh_at: Optional[float] = None,
     ) -> Any:
         """Return the cached value for ``key``, loading on miss.
@@ -145,11 +150,17 @@ class TtlCache:
         """
         now = self.clock.now()
         self.last_hit = False
+        # a stale entry's tags survive onto a negative replacement for the
+        # same key: the credential is the same, only its verdict flipped,
+        # so tag invalidation (bus evictions) must keep reaching it
+        prior_tags: Tuple[str, ...] = ()
         entry = self._entries.get(key)
         if entry is not None:
             stale = now >= entry.expires_at or (
                 min_fresh_at is not None and entry.loaded_at < min_fresh_at
             )
+            if stale:
+                prior_tags = entry.tags
             if not stale:
                 self.last_hit = True
                 if entry.negative:
@@ -198,6 +209,11 @@ class TtlCache:
             flight.completed_at = self.clock.now()
             self.stats.loads += 1
             self._observe("load")
+            neg_tags: Tuple[str, ...] = ()
+            if negative_tags_of is not None:
+                neg_tags = tuple(negative_tags_of(exc))
+            if not neg_tags:
+                neg_tags = prior_tags
             self._install(
                 key,
                 _Entry(
@@ -206,6 +222,7 @@ class TtlCache:
                     expires_at=self.clock.now() + self.negative_ttl,
                     negative=True,
                     error=(type(exc), str(exc)),
+                    tags=neg_tags,
                 ),
             )
             raise
@@ -245,7 +262,10 @@ class TtlCache:
     # ------------------------------------------------------------------
     def invalidate(self, key: Any) -> bool:
         """Drop one key (and forget its flight window)."""
-        existed = key in self._entries
+        entry = self._entries.get(key)
+        existed = entry is not None
+        if existed and entry.negative:
+            self.stats.negative_purged += 1
         self._drop(key)
         self._flights.pop(key, None)
         if existed:
@@ -254,15 +274,25 @@ class TtlCache:
         return existed
 
     def invalidate_tag(self, tag: str) -> int:
-        """Drop every entry carrying ``tag``; returns how many died."""
+        """Drop every entry carrying ``tag``; returns how many died.
+
+        Negative entries count too: a negative verdict inherits its
+        predecessor's tags (and loaders may tag them explicitly via
+        ``negative_tags_of``), so a revocation kills the cached denial
+        alongside the cached ALLOW — the flight window dies with it and
+        the next caller goes back upstream for a fresh verdict.
+        """
         keys = list(self._by_tag.get(tag, ()))
         for key in keys:
             self.invalidate(key)
         return len(keys)
 
     def clear(self) -> int:
-        """Flush the whole cache (e.g. on a signing-key rotation)."""
+        """Flush the whole cache (e.g. on a signing-key rotation),
+        positive and negative entries alike, plus every flight window."""
         n = len(self._entries)
+        self.stats.negative_purged += sum(
+            1 for e in self._entries.values() if e.negative)
         self._entries.clear()
         self._by_tag.clear()
         self._flights.clear()
@@ -278,6 +308,12 @@ class TtlCache:
         With ``by_tag`` (default) the event key is treated as a tag
         (``jti:<key>`` style is the publisher's responsibility to match);
         a bare event with no key flushes the whole cache.
+
+        Binding is idempotent per ``(bus, topic)`` *and* per cache name:
+        re-binding (or binding a rebuilt cache carrying the same name)
+        replaces the previous subscription instead of stacking a new one,
+        so the bus's subscriber count stays flat across cache rebuilds
+        and dead cache instances stop receiving events.
         """
         def _on_event(key: Optional[str], **_attrs: object) -> None:
             if key is None:
@@ -287,7 +323,23 @@ class TtlCache:
             else:
                 self.invalidate(key)
 
-        bus.subscribe(topic, _on_event)
+        binding_key = (id(bus), topic)
+        old = self._bindings.pop(binding_key, None)
+        if old is not None:
+            old[0].unsubscribe(old[1])
+        sub = bus.subscribe(topic, _on_event, owner=f"cache:{self.name}")
+        self._bindings[binding_key] = (bus, sub)
+
+    def unbind(self) -> int:
+        """Drop every live bus subscription this cache holds; returns how
+        many were removed.  Call before discarding a cache instance whose
+        name will *not* be reused (same-name rebuilds self-heal via the
+        owner dedup in :meth:`bind`)."""
+        n = 0
+        for bus, sub in self._bindings.values():
+            n += 1 if bus.unsubscribe(sub) else 0
+        self._bindings.clear()
+        return n
 
     # ------------------------------------------------------------------
     # internals
@@ -328,6 +380,9 @@ class TtlCache:
 class _Subscription:
     topic: str
     callback: Callable[..., None]
+    # stable identity for dedup across subscriber rebuilds (e.g. a cache
+    # name): a new subscription with the same owner replaces the old one
+    owner: Optional[str] = None
 
 
 class InvalidationBus:
@@ -348,8 +403,35 @@ class InvalidationBus:
         self.delivered = 0
         self.history: List[Tuple[float, str, Optional[str]]] = []
 
-    def subscribe(self, topic: str, callback: Callable[..., None]) -> None:
-        self._subs.setdefault(topic, []).append(_Subscription(topic, callback))
+    def subscribe(self, topic: str, callback: Callable[..., None],
+                  *, owner: Optional[str] = None) -> _Subscription:
+        """Register ``callback`` for ``topic``; returns the subscription
+        handle for :meth:`unsubscribe`.
+
+        With an ``owner``, the subscription *replaces* any existing one
+        with the same (topic, owner) — in place, preserving delivery
+        order — so rebuilt subscribers (caches recreated after a flush
+        or a region restart) never leave a dangling callback behind and
+        the subscriber count stays flat across rebuilds.
+        """
+        sub = _Subscription(topic, callback, owner)
+        subs = self._subs.setdefault(topic, [])
+        if owner is not None:
+            for i, existing in enumerate(subs):
+                if existing.owner == owner:
+                    subs[i] = sub
+                    return sub
+        subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: _Subscription) -> bool:
+        """Remove one subscription; returns whether it was present."""
+        subs = self._subs.get(sub.topic, [])
+        for i, existing in enumerate(subs):
+            if existing is sub:
+                del subs[i]
+                return True
+        return False
 
     def publish(self, topic: str, key: Optional[str] = None,
                 **attrs: object) -> int:

@@ -6,6 +6,7 @@ from repro.siem.detections import (
     CacheStalenessRule,
     DetectionRule,
     DistinctTargetsRule,
+    RegionLagRule,
     ThresholdRule,
     standard_rules,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "ThresholdRule",
     "DistinctTargetsRule",
     "CacheStalenessRule",
+    "RegionLagRule",
     "standard_rules",
     "AssetInventory",
     "Asset",

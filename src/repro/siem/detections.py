@@ -18,6 +18,7 @@ __all__ = [
     "ThresholdRule",
     "DistinctTargetsRule",
     "CacheStalenessRule",
+    "RegionLagRule",
     "standard_rules",
 ]
 
@@ -141,11 +142,21 @@ class CacheStalenessRule(DetectionRule):
     attribute).  Cache-served decisions are records with outcome
     ``cached``; their jti rides the ``jti`` attribute stamped by the
     serving service.
+
+    Multi-region deployments advertise a staleness bound: revocations
+    replicate to peer regions asynchronously, so a remote cache may
+    legitimately serve the old decision for up to ``tolerance`` seconds
+    after the revocation instant.  Within the window the serve is
+    *counted* (``tolerated``) but not alerted; past the window the
+    original critical alert fires.  ``tolerance=0`` keeps the strict
+    single-region contract: any post-revocation cached serve alerts.
     """
 
     name: str = "cache-staleness"
     severity: str = "critical"
     summary: str = "cached decision served revoked token {jti} for {actor}"
+    tolerance: float = 0.0
+    tolerated: int = 0
     _revoked_at: Dict[str, float] = field(default_factory=dict)
     _alerted: Dict[str, float] = field(default_factory=dict)
 
@@ -166,6 +177,9 @@ class CacheStalenessRule(DetectionRule):
         revoked_at = self._revoked_at.get(jti)
         if revoked_at is None or t < revoked_at:
             return None
+        if self.tolerance > 0.0 and t - revoked_at <= self.tolerance:
+            self.tolerated += 1
+            return None
         if jti in self._alerted:
             return None          # one alert per stale jti, not per serve
         self._alerted[jti] = t
@@ -176,6 +190,59 @@ class CacheStalenessRule(DetectionRule):
             severity=self.severity,
             actor=actor,
             summary=self.summary.format(jti=jti, actor=actor),
+            evidence_count=1,
+        )
+
+
+@dataclass
+class RegionLagRule(DetectionRule):
+    """Alert when a region's advertised replication staleness bound is
+    breached.
+
+    The multi-region directory periodically audits every region's
+    measured revocation-replication lag as ``region.lag`` records
+    carrying ``region``/``lag``/``bound`` attributes.  A lag past the
+    bound means the region can no longer honour the advertised staleness
+    contract — the deployment's response is to fail that region closed
+    (flush caches, stop serving), and this rule is the SOC-side view of
+    the same breach.  Alerts carry an empty actor: there is no principal
+    to contain, a region is degraded.
+
+    One alert per region per ``window`` seconds to avoid alert storms
+    while a partition persists.
+    """
+
+    name: str = "region-lag"
+    severity: str = "high"
+    window: float = 30.0
+    summary: str = "region {region} replication lag {lag:.1f}s exceeds bound {bound:.1f}s"
+    _last_alert: Dict[str, float] = field(default_factory=dict)
+
+    def observe(self, record: Dict[str, object]) -> Optional[Alert]:
+        if str(record.get("action", "")) != "region.lag":
+            return None
+        attrs = record.get("attrs") or {}
+        if not isinstance(attrs, dict):
+            return None
+        region = str(attrs.get("region", record.get("resource", "")))
+        try:
+            lag = float(attrs.get("lag", 0.0))
+            bound = float(attrs.get("bound", 0.0))
+        except (TypeError, ValueError):
+            return None
+        if bound <= 0.0 or lag <= bound:
+            return None
+        t = float(record.get("time", 0.0))
+        last = self._last_alert.get(region)
+        if last is not None and t - last < self.window:
+            return None
+        self._last_alert[region] = t
+        return Alert(
+            time=t,
+            rule=self.name,
+            severity=self.severity,
+            actor="",   # region degradation: nothing to contain
+            summary=self.summary.format(region=region, lag=lag, bound=bound),
             evidence_count=1,
         )
 
@@ -262,4 +329,7 @@ def standard_rules() -> List[DetectionRule]:
         # inert without the scale subsystem (seed mode never emits a
         # "cached" outcome), so it ships in the default pack
         CacheStalenessRule(),
+        # likewise inert without the region tier ("region.lag" records
+        # only exist in multi-region deployments)
+        RegionLagRule(),
     ]

@@ -44,7 +44,7 @@ def event_to_record(event: AuditEvent) -> Dict[str, object]:
         "zone": event.zone,
         "attrs": {k: v for k, v in event.attrs.items()
                   if k in ("reason", "rule", "port", "via", "node",
-                           "trace_id", "jti")},
+                           "trace_id", "jti", "region", "lag", "bound")},
     }
 
 

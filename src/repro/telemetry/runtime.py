@@ -97,6 +97,20 @@ class Telemetry:
         self.autoscale_decisions = r.counter(
             "repro_autoscale_decisions_total",
             "Autoscaler actions, by pool and direction")
+        # multi-region tier
+        self.region_lag = r.gauge(
+            "repro_region_replication_lag_seconds",
+            "Measured revocation-replication lag into each region")
+        self.region_state = r.gauge(
+            "repro_region_state",
+            "Region serving state (1 active, 0.5 stale/fail-closed, 0 down)")
+        self.region_reroutes = r.counter(
+            "repro_region_reroutes_total",
+            "Requests the geo-router moved off a client's home region")
+        self.region_bus_events = r.counter(
+            "repro_region_bus_events_total",
+            "Cross-region bus traffic, by origin/dest and event "
+            "(replicated/parked/flushed/fenced)")
 
         self._slos: Dict[str, SloMonitor] = {}
         self._slos_by_service: Dict[str, List[SloMonitor]] = {}

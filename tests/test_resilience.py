@@ -582,3 +582,80 @@ def test_resilient_deployment_attaches_kits_everywhere():
     # and a fail-fast build attaches none
     dri2 = build_isambard(seed=102, with_isambard3=False)
     assert dri2.resilience is None and dri2.broker.resilience is None
+
+
+# ---------------------------------------------------------------------------
+# deadline-aware retry (PR 6 satellite): backoff/retry_after waits are
+# capped by the request's remaining absolute deadline
+# ---------------------------------------------------------------------------
+def test_retry_abandons_wait_that_would_overrun_request_deadline():
+    clock = SimClock()
+    policy = RetryPolicy(max_attempts=5, base_delay=2.0, jitter=0.0)
+    kit = Resilience("c", clock, random.Random(1), policy=policy)
+
+    calls = []
+
+    def flaky():
+        calls.append(clock.now())
+        raise ServiceUnavailable("down")
+
+    # first backoff would be 2.0s but only 0.5s of deadline remains:
+    # the wait is never taken and the real error re-raises immediately
+    with pytest.raises(ServiceUnavailable):
+        kit.call(flaky, dst="svc", deadline=clock.now() + 0.5)
+    assert len(calls) == 1           # no second attempt
+    assert clock.now() == calls[0]   # and no pointless sleep
+    assert kit.metrics.deadline_abandons == 1
+    assert kit.metrics.failures == 1
+    assert kit.metrics.retries == 0
+
+
+def test_retry_after_hint_is_also_capped_by_deadline():
+    from repro.errors import RateLimited
+
+    clock = SimClock()
+    policy = RetryPolicy(max_attempts=5, base_delay=0.01, jitter=0.0)
+    kit = Resilience("c", clock, random.Random(1), policy=policy)
+
+    def shed():
+        raise RateLimited("busy", retry_after=10.0)
+
+    with pytest.raises(RateLimited):
+        kit.call(shed, dst="svc", deadline=clock.now() + 1.0)
+    assert kit.metrics.deadline_abandons == 1
+    assert kit.metrics.honoured_retry_afters == 0
+    assert clock.now() == 0.0
+
+
+def test_generous_deadline_still_permits_retries():
+    clock = SimClock()
+    policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+    kit = Resilience("c", clock, random.Random(1), policy=policy)
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise ServiceUnavailable("down")
+        return "ok"
+
+    assert kit.call(flaky, dst="svc", deadline=clock.now() + 60.0) == "ok"
+    assert len(attempts) == 3
+    assert kit.metrics.deadline_abandons == 0
+    assert kit.metrics.retries == 2
+
+
+def test_service_call_threads_request_deadline_into_retry(chaos_net):
+    # a networked call carrying an HttpRequest deadline must not sleep
+    # through it in backoff: the client sees the transport error at a
+    # simulated time strictly before the deadline
+    network, client, faults, clock = chaos_net
+    client.resilience = Resilience(
+        "laptop", clock, random.Random(3),
+        policy=RetryPolicy(max_attempts=6, base_delay=5.0, jitter=0.0))
+    faults.outage("broker", duration=100.0)
+    deadline = clock.now() + 2.0
+    with pytest.raises(FaultInjected):
+        client.call("broker", HttpRequest("GET", "/ping", deadline=deadline))
+    assert clock.now() < deadline
+    assert client.resilience.metrics.deadline_abandons == 1

@@ -464,3 +464,113 @@ class TestAutoscaler:
         assert pool.size() == 2
         scaler.stop()
         assert clock.pending_events() in (0, 1)  # ticker cancelled
+
+
+# ======================================================================
+# cache invalidation hygiene (PR 6 satellite): negative entries and
+# bus subscriptions must not outlive the entries/caches they serve
+# ======================================================================
+class TestCacheInvalidationHygiene:
+    def test_invalidate_tag_purges_negative_entry_via_inherited_tags(self):
+        # an ALLOW cached under a tag expires; the re-load fails and is
+        # negative-cached.  The negative entry inherits the dead ALLOW's
+        # tags, so a revocation for that tag still evicts it.
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=5.0, negative_ttl=60.0,
+                         negative_errors=(SignatureInvalid,))
+        cache.get_or_load("tok", lambda: "ok", tags_of=lambda v: ("jti-1",))
+        clock.advance(6.0)  # ALLOW expired
+
+        def bad():
+            raise SignatureInvalid("revoked upstream")
+
+        with pytest.raises(SignatureInvalid):
+            cache.get_or_load("tok", bad)
+        # negative verdict now cached; it still carries jti-1
+        with pytest.raises(SignatureInvalid):
+            cache.get_or_load("tok", bad)
+        assert cache.stats.negative_hits == 1
+
+        assert cache.invalidate_tag("jti-1") == 1
+        assert cache.stats.negative_purged == 1
+        # flight window died with the entry: next caller goes upstream
+        cache.get_or_load("tok", lambda: "fresh")
+        assert cache.peek("tok") == "fresh"
+
+    def test_negative_tags_of_tags_a_first_load_failure(self):
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=60.0,
+                         negative_errors=(SignatureInvalid,))
+
+        def bad():
+            raise SignatureInvalid("forged: jti-9")
+
+        with pytest.raises(SignatureInvalid):
+            cache.get_or_load(
+                "tok", bad, negative_tags_of=lambda exc: ("jti-9",))
+        assert cache.invalidate_tag("jti-9") == 1
+        assert cache.stats.negative_purged == 1
+
+    def test_clear_counts_negative_purges(self):
+        clock = SimClock()
+        cache = TtlCache("t", clock, ttl=60.0,
+                         negative_errors=(SignatureInvalid,))
+        cache.get_or_load("a", lambda: 1)
+
+        def bad():
+            raise SignatureInvalid("nope")
+
+        with pytest.raises(SignatureInvalid):
+            cache.get_or_load("b", bad)
+        assert cache.clear() == 2
+        assert cache.stats.negative_purged == 1
+
+    def test_rebind_keeps_subscriber_count_flat(self):
+        # rebuilding a cache under the same name (flush + recreate, a
+        # region restart) must replace the old subscription, not stack
+        # a new one: the dead instance stops hearing events
+        clock = SimClock()
+        bus = InvalidationBus(clock)
+        old = TtlCache("introspection", clock, ttl=60.0)
+        old.bind(bus, "token.revoked", by_tag=True)
+        old.get_or_load("tok", lambda: "stale", tags_of=lambda v: ("j1",))
+        assert bus.subscriber_count("token.revoked") == 1
+
+        for _ in range(3):
+            rebuilt = TtlCache("introspection", clock, ttl=60.0)
+            rebuilt.bind(bus, "token.revoked", by_tag=True)
+        assert bus.subscriber_count("token.revoked") == 1
+
+        rebuilt.get_or_load("tok", lambda: "fresh", tags_of=lambda v: ("j1",))
+        bus.publish("token.revoked", key="j1")
+        assert rebuilt.peek("tok") is None       # live cache evicted
+        assert old.peek("tok") == "stale"        # dead instance untouched
+        assert old.stats.invalidations == 0
+
+    def test_rebind_same_cache_is_idempotent(self):
+        clock = SimClock()
+        bus = InvalidationBus(clock)
+        cache = TtlCache("jwks", clock, ttl=60.0)
+        cache.bind(bus, "jwks.rotated", by_tag=False)
+        cache.bind(bus, "jwks.rotated", by_tag=False)
+        assert bus.subscriber_count("jwks.rotated") == 1
+
+    def test_unbind_removes_every_subscription(self):
+        clock = SimClock()
+        bus = InvalidationBus(clock)
+        cache = TtlCache("c", clock, ttl=60.0)
+        cache.bind(bus, "token.revoked", by_tag=True)
+        cache.bind(bus, "jwks.rotated", by_tag=False)
+        assert cache.unbind() == 2
+        assert bus.subscriber_count("token.revoked") == 0
+        assert bus.subscriber_count("jwks.rotated") == 0
+        cache.get_or_load("k", lambda: "v")
+        bus.publish("token.revoked")  # nobody listens; nothing breaks
+        assert cache.peek("k") == "v"
+
+    def test_unsubscribe_unknown_subscription_is_false(self):
+        clock = SimClock()
+        bus = InvalidationBus(clock)
+        sub = bus.subscribe("t", lambda key, **a: None)
+        assert bus.unsubscribe(sub) is True
+        assert bus.unsubscribe(sub) is False
