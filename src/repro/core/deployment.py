@@ -73,6 +73,7 @@ from repro.resilience import (
     OverloadConfig,
     ResilienceRuntime,
     RetryPolicy,
+    TailConfig,
 )
 from repro.scale import (
     Autoscaler,
@@ -190,6 +191,8 @@ class IsambardDeployment:
     geo_router: Optional[GeoRouter] = None
     region_bus: Optional[ReplicatedInvalidationBus] = None
     region_autoscalers: List[Autoscaler] = field(default_factory=list)
+    # tail-tolerance layer (repro.resilience.tail); None unless tail on
+    tail: Optional[TailConfig] = None
 
     # ------------------------------------------------------------------
     def validator_for(self, audience: str) -> RbacTokenValidator:
@@ -316,6 +319,7 @@ def build_isambard(
     telemetry: bool = True,
     scale: Union[bool, ScaleConfig] = False,
     regions: Union[bool, RegionConfig] = False,
+    tail: Union[bool, TailConfig] = False,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
 
@@ -385,6 +389,16 @@ def build_isambard(
     with fencing epochs arbitrating issuance after recovery.  Pass a
     :class:`~repro.region.RegionConfig` to name the regions and set the
     contract.
+
+    ``tail`` turns on the tail-tolerance layer (PR 7, implies
+    resilience): adaptive per-attempt deadlines sized from observed
+    latency quantiles, hedged requests for read-shaped traffic,
+    latency-outlier ejection in every balancer pool (and gray-region
+    detours in the geo-router when ``regions`` is also on), and a
+    per-(client×destination) retry budget that fails storms fast and
+    feeds the SOC's ``retry-storm`` rule.  Pass a
+    :class:`~repro.resilience.TailConfig` to resize the knobs or ablate
+    individual defences.
     """
     region_cfg: Optional[RegionConfig] = None
     if regions:
@@ -395,6 +409,13 @@ def build_isambard(
             scale = True
     if failover:
         durability = True
+    tail_cfg: Optional[TailConfig] = None
+    if tail:
+        tail_cfg = tail if isinstance(tail, TailConfig) else TailConfig()
+        if not resilience:
+            # the tail defences live inside the retry layer; without a
+            # runtime there is nothing to attach them to
+            resilience = True
     clock = SimClock(start=0.0)
     ids = IdFactory(seed=seed)
     tele: Optional[Telemetry] = Telemetry(clock) if telemetry else None
@@ -423,10 +444,16 @@ def build_isambard(
             clock, random.Random(seed * 104729 + 7),
             policy=resilience if isinstance(resilience, RetryPolicy) else None,
             overload=overload_cfg,
+            tail=tail_cfg,
         )
 
     if runtime is not None and tele is not None:
         runtime.breaker_listener = tele.on_breaker_transition
+    if runtime is not None and runtime.tail_controller is not None:
+        # budget refusals audit into FDS (where the SOC's forwarders
+        # already collect) and count into telemetry
+        runtime.tail_controller.audit = logs["fds"]
+        runtime.tail_controller.telemetry = tele
 
     firewall = Firewall(segmented=segmented)
     _open_fig1_flows(firewall)
@@ -882,6 +909,7 @@ def build_isambard(
             audit=logs["fds"],
             breaker_listener=(tele.on_breaker_transition
                               if tele is not None else None),
+            tail=tail_cfg, telemetry=tele,
         )
         network.attach(broker_lb, OperatingDomain.FDS, Zone.ACCESS,
                        name="broker")
@@ -989,6 +1017,7 @@ def build_isambard(
                 telemetry=tele, audit=logs["fds"],
                 breaker_listener=(tele.on_breaker_transition
                                   if tele is not None else None),
+                tail=tail_cfg,
             )
             region_dir.add(region)
             if scale_cfg.autoscale and tele is not None:
@@ -1006,6 +1035,7 @@ def build_isambard(
             inter_region_latency=region_cfg.inter_region_latency,
             pins=dict(region_cfg.client_regions),
             audit=logs["fds"], telemetry=tele,
+            tail=tail_cfg,
         )
         network.attach(geo_router, OperatingDomain.FDS, Zone.ACCESS,
                        name="broker")
@@ -1136,6 +1166,7 @@ def build_isambard(
         region_config=region_cfg, region_directory=region_dir,
         geo_router=geo_router, region_bus=rbus,
         region_autoscalers=region_autoscalers,
+        tail=tail_cfg,
         caches=({} if token_cache is None else {
             "token-decisions": token_cache, "jwks": jwks_cache,
             "introspection": introspect_cache, "ssh-certs": cert_cache,

@@ -33,6 +33,7 @@ __all__ = [
     "ServiceUnavailable",
     "FaultInjected",
     "CircuitOpen",
+    "AttemptTimeout",
     "RateLimited",
     "DeadlineExceeded",
     "CertificateError",
@@ -152,6 +153,16 @@ class FaultInjected(ServiceUnavailable):
 class CircuitOpen(ServiceUnavailable):
     """A client-side circuit breaker is shedding load to this destination.
     The request was never sent; retrying immediately is pointless."""
+
+
+class AttemptTimeout(ServiceUnavailable):
+    """One attempt exceeded its adaptive per-attempt deadline and the
+    caller abandoned it.  The transport raises this *before delivery*
+    (the slow hop never reached the destination), so a retry or a hedge
+    to another replica can never replay a partially applied request.
+    Subclasses :class:`ServiceUnavailable`: the attempt failed, the
+    *request* may still succeed elsewhere — unlike
+    :class:`DeadlineExceeded`, which ends the request everywhere."""
 
 
 class RateLimited(NetworkError):

@@ -45,6 +45,13 @@ class HttpRequest:
     source: str = ""  # endpoint name of the caller, filled in by the network
     priority: str = Priority.INTERACTIVE
     deadline: Optional[float] = None
+    # adaptive per-attempt deadline (absolute simulated time) set by the
+    # tail-tolerance layer for ONE transport hop: the network abandons
+    # the attempt (AttemptTimeout, pre-delivery) rather than riding a
+    # gray hop's latency.  Deliberately hop-local — unlike ``deadline``
+    # it never propagates to nested calls, so only the hop whose caller
+    # armed it can trip it
+    attempt_deadline: Optional[float] = None
 
     def bearer_token(self) -> Optional[str]:
         """Extract a ``Authorization: Bearer ...`` token if present."""
@@ -247,6 +254,7 @@ class Service:
                     ),
                     dst=dst,
                     deadline=request.deadline,
+                    request=request,
                 )
             else:
                 response = self.network.request(

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from repro.audit import AuditLog, Outcome
 from repro.clock import SimClock
 from repro.errors import (
+    AttemptTimeout,
     ConfigurationError,
     ConnectionBlocked,
     DeadlineExceeded,
@@ -117,6 +118,7 @@ class Network:
         self.messages_faulted = 0
         self.messages_expired = 0
         self.messages_shed = 0
+        self.messages_attempt_timeouts = 0
 
     # ------------------------------------------------------------------
     # topology
@@ -341,7 +343,26 @@ class Network:
                 raise
 
         request.source = src
-        self.clock.advance(self.hop_latency + extra_latency)
+        delivery_cost = self.hop_latency + extra_latency
+        att = request.attempt_deadline
+        if att is not None and self.clock.now() + delivery_cost > att:
+            # the tail-tolerance layer bounded this single attempt: the
+            # caller abandons at the deadline instant — it pays exactly
+            # the wait it sat through, and the request was never
+            # delivered, so a retry or hedge cannot replay side effects
+            self.clock.advance(max(0.0, att - self.clock.now()))
+            self.messages_attempt_timeouts += 1
+            self.audit.record(
+                self.clock.now(), "network", src, "attempt.timeout", dst,
+                Outcome.ERROR, domain=str(d.domain), zone=str(d.zone),
+                path=request.path, would_cost=round(delivery_cost, 6),
+                **trace_attrs,
+            )
+            raise AttemptTimeout(
+                f"{src} -> {dst} {request.path}: attempt abandoned at its "
+                f"adaptive deadline (delivery would cost "
+                f"{delivery_cost:.3f}s)")
+        self.clock.advance(delivery_cost)
         if not d.up:
             # a crash fault landed while this request was in flight: the
             # connection drops and the caller sees an unavailable service
@@ -360,6 +381,10 @@ class Network:
             port=port, path=request.path, encrypted=encrypted,
             rule=decision.rule, **trace_attrs,
         )
+        # the attempt bound covered *this* hop's delivery; nested calls
+        # the handler makes must not inherit it (their own callers arm
+        # their own bounds), so it is parked for the duration of handling
+        request.attempt_deadline = None
         try:
             return d.service.handle(request)
         except RateLimited as exc:

@@ -247,6 +247,12 @@ class RegionDirectory:
                 lambda n=name: self.region_down(n),
                 lambda n=name: self.region_up(n),
             )
+            # gray-region support: gray_region() fans a slow_replica
+            # fault over whatever the region's fleet is at that moment
+            faults.register_region_endpoints(
+                name,
+                lambda n=name: list(self.region(n).pool.replicas()),
+            )
         faults.register_region_link_hooks(self.sever, self.heal)
 
     # ------------------------------------------------------------------

@@ -222,6 +222,7 @@ class Region:
         telemetry=None,
         audit=None,
         breaker_listener=None,
+        tail=None,
     ) -> None:
         self.name = name
         self.clock = clock
@@ -268,6 +269,7 @@ class Region:
         self.lb = LoadBalancer(
             f"broker-{name}", clock, self.pool, policy=lb_policy,
             audit=audit, breaker_listener=breaker_listener,
+            tail=tail, telemetry=telemetry,
         )
         self.lb.region_name = name
         network.attach(self.lb, domain, zone, name=f"broker-{name}")

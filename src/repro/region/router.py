@@ -22,16 +22,26 @@ Failover rules match the :class:`~repro.scale.LoadBalancer`: move on
 faults) and ``RateLimited`` (a shedding region spreads its surge), but
 never on ``DeadlineExceeded`` — expired work is expired in every
 region.
+
+With a :class:`~repro.resilience.tail.TailConfig` the router also
+defends against *gray regions*: per-region latency/error EWMAs feed an
+:class:`~repro.resilience.tail.OutlierEjector` keyed by region name,
+and a home region that has gone slow-but-alive is **detoured** (moved
+to the back of the candidate order, cross-region latency charged
+honestly) before the replication-lag watchdog would ever fail it closed
+— a browning-out region keeps replicating on time, so the watchdog is
+structurally blind to it.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..audit import Outcome
 from ..errors import DeadlineExceeded, RateLimited, ServiceUnavailable
 from ..net.http import HttpRequest, HttpResponse, Service
+from ..resilience.tail import OutlierEjector, TailConfig
 
 __all__ = ["GeoRouter"]
 
@@ -49,6 +59,7 @@ class GeoRouter(Service):
         pins: Optional[Dict[str, str]] = None,
         audit=None,
         telemetry=None,
+        tail: Optional[TailConfig] = None,
     ) -> None:
         super().__init__(name)
         self.clock = clock
@@ -61,6 +72,22 @@ class GeoRouter(Service):
         self.routed = 0
         self.reroutes = 0
         self.exhausted = 0
+        # gray-region scoring: same ejector as the balancer's, keyed by
+        # region name.  "Ejected" here means *detoured*, not skipped —
+        # a gray region still serves as the candidate of last resort
+        self.tail = tail
+        self.ejector = (OutlierEjector(clock, tail)
+                        if tail is not None and tail.ejection else None)
+        if self.ejector is not None:
+            self.ejector.on_reinstate = self._on_reinstate
+        self.gray_detours = 0
+
+    def _on_reinstate(self, region: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.tail_reinstatements.inc(pool="regions")
+            self.telemetry.tail_ejected.set(0.0, member=region)
+        if self.audit is not None:
+            self.log_event("system", "region.ungray", region, Outcome.INFO)
 
     # ------------------------------------------------------------------
     def home_region(self, source: str) -> str:
@@ -86,10 +113,48 @@ class GeoRouter(Service):
             if admitted:
                 self.admission.release()
 
-    def _route(self, request: HttpRequest) -> HttpResponse:
-        home = self.home_region(request.source or "")
+    def _order(self, home: str, request: HttpRequest) -> List[str]:
+        """Candidate regions, home first — unless the home region is
+        currently scored gray, in which case it drops to the *back* of
+        the order (detoured, never excluded: if every peer is down or
+        unreachable, a slow answer still beats no answer)."""
         order = [home] + sorted(
             n for n in self.directory.names() if n != home)
+        if self.ejector is not None and \
+                self.ejector.is_ejected(home, order):
+            order = order[1:] + [home]
+            self.gray_detours += 1
+            if self.telemetry is not None:
+                self.telemetry.gray_detours.inc(home=home)
+            if self.audit is not None:
+                self.log_event(
+                    request.source or "system", "region.gray_detour", home,
+                    Outcome.INFO, path=request.path)
+        return order
+
+    def _score(self, rname: str, elapsed: float, ok: bool,
+               fleet: List[str]) -> None:
+        """Feed one routed call's outcome to the gray-region scorer."""
+        if self.ejector is None:
+            return
+        self.ejector.record(rname, elapsed, ok)
+        if self.ejector.should_eject(rname, fleet):
+            until = self.ejector.eject(rname)
+            if self.telemetry is not None:
+                self.telemetry.tail_ejections.inc(
+                    pool="regions", replica=rname)
+                self.telemetry.tail_ejected.set(1.0, member=rname)
+            if self.audit is not None:
+                lat = self.ejector.latency_ewma(rname)
+                self.log_event(
+                    "system", "region.gray", rname, Outcome.INFO,
+                    until=round(until, 6),
+                    latency_ewma=round(lat if lat is not None else 0.0, 6),
+                    error_ewma=round(self.ejector.error_ewma(rname), 6))
+
+    def _route(self, request: HttpRequest) -> HttpResponse:
+        home = self.home_region(request.source or "")
+        order = self._order(home, request)
         last_exc: Optional[Exception] = None
         for rname in order:
             region = self.directory.region(rname)
@@ -110,13 +175,20 @@ class GeoRouter(Service):
                     self.log_event(
                         request.source or "system", "region.reroute", rname,
                         Outcome.INFO, home=home, path=request.path)
+            started = self.clock.now()
             try:
                 response = self.call(region.endpoint_name, request)
             except DeadlineExceeded:
                 raise
-            except (RateLimited, ServiceUnavailable) as exc:
+            except RateLimited as exc:
+                # shed is self-protection, not gray evidence
                 last_exc = exc
                 continue
+            except ServiceUnavailable as exc:
+                self._score(rname, self.clock.now() - started, False, order)
+                last_exc = exc
+                continue
+            self._score(rname, self.clock.now() - started, True, order)
             self.routed += 1
             return response
         self.exhausted += 1

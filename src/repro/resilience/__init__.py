@@ -40,6 +40,15 @@ from repro.resilience.retry import (
     RetryPolicy,
     call_with_resilience,
 )
+from repro.resilience.tail import (
+    HedgeBudget,
+    LatencyTracker,
+    OutlierEjector,
+    RetryBudget,
+    TailConfig,
+    TailController,
+    hedgeable_request,
+)
 
 __all__ = [
     "CircuitBreaker",
@@ -65,4 +74,11 @@ __all__ = [
     "ResilienceRuntime",
     "RetryPolicy",
     "call_with_resilience",
+    "HedgeBudget",
+    "LatencyTracker",
+    "OutlierEjector",
+    "RetryBudget",
+    "TailConfig",
+    "TailController",
+    "hedgeable_request",
 ]

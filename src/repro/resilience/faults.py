@@ -54,6 +54,10 @@ FLAP = "flap"
 PARTITION = "partition"
 CRASH = "crash"
 REGION_DOWN = "region_down"
+# a persistently slow-but-alive replica: the canonical gray failure.
+# Mechanically a latency fault, but a distinct kind so chaos reports can
+# tell a transient network spike from a sick instance
+SLOW_REPLICA = "slow_replica"
 
 
 @dataclass
@@ -72,6 +76,11 @@ class Fault:
     loc_a: Optional[Tuple[object, object]] = None
     loc_b: Optional[Tuple[object, object]] = None
     hits: int = 0                     # messages this fault failed or slowed
+    offers: int = 0                   # messages consulted while active —
+                                      # satellite fix: brownout/flap only
+                                      # counted hits on the messages they
+                                      # failed, hiding how much traffic
+                                      # rode through the window unscathed
     cleared: bool = False
 
     def active(self, now: float) -> bool:
@@ -123,6 +132,11 @@ class FaultInjector:
         self._region_link_hooks: Optional[Tuple[object, object]] = None
         self.regions_downed = 0
         self.region_partitions = 0
+        # region -> callable returning the region's current replica
+        # endpoint names, so gray_region() can fan a slow_replica fault
+        # over whatever the fleet looks like when it is scheduled
+        self._region_endpoint_fns: Dict[str, object] = {}
+        self.gray_regions = 0
 
     # ------------------------------------------------------------------
     # scheduling faults
@@ -156,6 +170,19 @@ class FaultInjector:
         if extra < 0:
             raise ConfigurationError(f"extra latency must be >= 0, got {extra}")
         return self._add(Fault(LATENCY, endpoint,
+                               self.clock.now() if start is None else start,
+                               duration, extra_latency=extra))
+
+    def slow_replica(self, endpoint: str, extra: float, *,
+                     start: Optional[float] = None,
+                     duration: Optional[float] = None) -> Fault:
+        """Make one replica *gray*: alive, serving, but ``extra`` seconds
+        slower per message.  Nothing hard-fails, so breakers and health
+        checks stay green — only the tail-tolerance layer notices."""
+        if extra <= 0:
+            raise ConfigurationError(
+                f"slow_replica extra latency must be > 0, got {extra}")
+        return self._add(Fault(SLOW_REPLICA, endpoint,
                                self.clock.now() if start is None else start,
                                duration, extra_latency=extra))
 
@@ -211,6 +238,7 @@ class FaultInjector:
             if fault.cleared:
                 return
             fault.hits += 1
+            fault.offers += 1
             self.crashes_injected += 1
             crash_fn()
 
@@ -264,6 +292,7 @@ class FaultInjector:
             if fault.cleared:
                 return
             fault.hits += 1
+            fault.offers += 1
             self.regions_downed += 1
             down_fn()
 
@@ -274,6 +303,27 @@ class FaultInjector:
         if restore_after is not None:
             self.clock.call_at(start + restore_after, up_fn)
         return fault
+
+    def register_region_endpoints(self, region: str, endpoints_fn) -> None:
+        """Teach the injector which replica endpoints make up ``region``
+        (``endpoints_fn`` returns the *current* list, so the fan-out
+        follows autoscaling)."""
+        self._region_endpoint_fns[region] = endpoints_fn
+
+    def gray_region(self, region: str, extra: float, *,
+                    start: Optional[float] = None,
+                    duration: Optional[float] = None) -> List[Fault]:
+        """Turn a whole region *gray*: every replica endpoint currently
+        in ``region`` gets a :meth:`slow_replica` fault.  The region
+        keeps serving (slowly), its bus keeps replicating, so the lag
+        watchdog never fires — only latency-aware routing notices."""
+        fn = self._region_endpoint_fns.get(region)
+        if fn is None:
+            raise ConfigurationError(
+                f"no region endpoints registered for region {region!r}")
+        self.gray_regions += 1
+        return [self.slow_replica(ep, extra, start=start, duration=duration)
+                for ep in fn()]
 
     def region_partition(self, region_a: str, region_b: str, *,
                          at: Optional[float] = None,
@@ -297,6 +347,7 @@ class FaultInjector:
             if fault.cleared:
                 return
             fault.hits += 1
+            fault.offers += 1
             self.region_partitions += 1
             sever_fn(region_a, region_b)
 
@@ -357,11 +408,16 @@ class FaultInjector:
                         and _loc_matches(b, dst.domain, dst.zone)) or \
                    (_loc_matches(b, src.domain, src.zone)
                         and _loc_matches(a, dst.domain, dst.zone)):
+                    fault.offers += 1
                     self._fail(fault, dst.name,
                                f"partition {a} <-> {b} drops {src.name} -> {dst.name}")
                 continue
             if fault.endpoint != dst.name:
                 continue
+            # every matching message is an *offer*, whether or not the
+            # fault ends up acting on it: hits/offers together say how
+            # much of the window's traffic the fault actually touched
+            fault.offers += 1
             if fault.kind == OUTAGE:
                 self._fail(fault, dst.name, f"injected outage at {dst.name}")
             elif fault.kind == BROWNOUT:
@@ -373,11 +429,22 @@ class FaultInjector:
                 phase = (now - fault.start) % fault.period
                 if phase >= fault.period * fault.up_fraction:
                     self._fail(fault, dst.name, f"injected flap: {dst.name} is down")
-            elif fault.kind == LATENCY:
+            elif fault.kind in (LATENCY, SLOW_REPLICA):
                 fault.hits += 1
                 extra += fault.extra_latency
         self.injected_latency += extra
         return extra
+
+    def fault_stats(self) -> List[Dict[str, object]]:
+        """Per-fault hit/offer accounting, for chaos and bench reports."""
+        return [
+            {
+                "kind": f.kind, "endpoint": f.endpoint,
+                "start": f.start, "duration": f.duration,
+                "hits": f.hits, "offers": f.offers,
+            }
+            for f in self.faults
+        ]
 
     def _fail(self, fault: Fault, endpoint: str, message: str) -> None:
         fault.hits += 1

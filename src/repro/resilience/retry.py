@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional, Tuple, Type
 
 from repro.clock import SimClock
 from repro.errors import (
+    AttemptTimeout,
     CircuitOpen,
     DeadlineExceeded,
     RateLimited,
@@ -30,6 +31,7 @@ from repro.errors import (
 )
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.overload import AimdLimiter, OverloadConfig
+from repro.resilience.tail import TailConfig, TailController, hedgeable_request
 
 __all__ = [
     "RetryPolicy",
@@ -101,6 +103,12 @@ class ResilienceMetrics:
     expired: int = 0               # calls abandoned on DeadlineExceeded
     deadline_abandons: int = 0     # retries skipped: wait would overrun
                                    # the request's remaining deadline
+    hedges: int = 0                # speculative attempts issued after the
+                                   # quantile-derived hedge delay
+    attempt_timeouts: int = 0      # attempts abandoned at their adaptive
+                                   # per-attempt deadline
+    budget_exhausted: int = 0      # retries refused by the retry budget
+                                   # (storm guard: failed fast instead)
     by_destination: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> Dict[str, object]:
@@ -112,6 +120,12 @@ class ResilienceMetrics:
             "honoured_retry_afters": self.honoured_retry_afters,
             "expired": self.expired,
             "deadline_abandons": self.deadline_abandons,
+            "hedges": self.hedges,
+            "attempt_timeouts": self.attempt_timeouts,
+            "budget_exhausted": self.budget_exhausted,
+            # satellite fix: the per-endpoint attribution used to be
+            # dropped here, blinding the chaos/bench readouts
+            "by_destination": dict(sorted(self.by_destination.items())),
         }
 
 
@@ -126,6 +140,9 @@ def call_with_resilience(
     limiter: Optional[AimdLimiter] = None,
     label: str = "",
     deadline: Optional[float] = None,
+    tail: Optional[TailController] = None,
+    tail_key: str = "",
+    request=None,
 ):
     """Run ``fn`` under ``policy``, consulting ``breaker`` before each try.
 
@@ -152,91 +169,160 @@ def call_with_resilience(
     never taken: the last transient error re-raises immediately instead
     of the client sleeping through the deadline only to fail with
     :class:`DeadlineExceeded` after a pointless wait.
+
+    With a :class:`~repro.resilience.tail.TailController` attached (and
+    ``request`` supplied so the attempt bound can ride it), three tail
+    defences activate:
+
+    * *adaptive deadlines* — each attempt carries an absolute
+      ``attempt_deadline`` sized ``clamp(k × p99)`` of the destination's
+      observed latency; the transport abandons the attempt pre-delivery
+      (:class:`AttemptTimeout`) instead of riding a gray hop's tail;
+    * *hedging* — for read-shaped requests the *first* attempt is
+      bounded at the much tighter hedge delay; tripping that bound is
+      not treated as a failure (no breaker penalty, no backoff): the
+      immediate re-issue *is* the hedge, landing on another replica
+      when the destination is balanced.  Hedges are capped by the
+      controller's :class:`~repro.resilience.tail.HedgeBudget`;
+    * *retry budget* — every retry not invited by a server
+      ``retry_after`` hint charges a per-``tail_key`` token bucket;
+      an empty bucket means this client is already amplifying the
+      outage, so the retry is refused and the call fails fast.
     """
     if metrics is not None:
         metrics.calls += 1
+    if tail is not None:
+        tail.on_call(tail_key or label)
     start = clock.now()
     attempt = 0
     backoff_step = 0  # position in the exponential schedule
-    while True:
-        if breaker is not None and not breaker.allow():
-            if metrics is not None:
-                metrics.short_circuits += 1
-            raise CircuitOpen(
-                f"circuit open for {label or 'destination'}; shedding load")
-        if limiter is not None:
-            pace = limiter.reserve(clock.now())
-            if pace > 0:
-                clock.advance(pace)
-        attempt += 1
-        if metrics is not None:
-            metrics.attempts += 1
-        try:
-            result = fn()
-        except DeadlineExceeded:
+    hedge_armed = False
+    tkey = tail_key or label
+    try:
+        while True:
+            if breaker is not None and not breaker.allow():
+                if metrics is not None:
+                    metrics.short_circuits += 1
+                raise CircuitOpen(
+                    f"circuit open for {label or 'destination'}; shedding load")
             if limiter is not None:
-                limiter.on_overload()
+                pace = limiter.reserve(clock.now())
+                if pace > 0:
+                    clock.advance(pace)
+            attempt += 1
             if metrics is not None:
-                metrics.expired += 1
-                metrics.failures += 1
-            raise
-        except policy.retry_on as exc:
-            shed = isinstance(exc, RateLimited)
-            retry_after = exc.retry_after if shed else None
-            if shed:
+                metrics.attempts += 1
+            hedge_armed = False
+            if tail is not None and request is not None:
+                bound = None
+                if (attempt == 1 and tail.cfg.hedging
+                        and hedgeable_request(request)
+                        and tail.hedge_budget.allowed()):
+                    bound = tail.hedge_delay(tkey)
+                    hedge_armed = bound is not None
+                if bound is None:
+                    bound = tail.attempt_timeout(tkey)
+                request.attempt_deadline = \
+                    (clock.now() + bound) if bound is not None else None
+            attempt_started = clock.now()
+            try:
+                result = fn()
+            except DeadlineExceeded:
+                if limiter is not None:
+                    limiter.on_overload()
+                if metrics is not None:
+                    metrics.expired += 1
+                    metrics.failures += 1
+                raise
+            except policy.retry_on as exc:
+                if isinstance(exc, AttemptTimeout) and hedge_armed:
+                    # the tightly bounded first attempt tripped its hedge
+                    # delay: abandon the straggler and immediately issue
+                    # the speculative duplicate.  Deliberately NO breaker
+                    # penalty and NO backoff — a natural p95 tail is not
+                    # a fault, and the hedge must fire *now* to win
+                    tail.hedge_budget.consume()
+                    if metrics is not None:
+                        metrics.hedges += 1
+                    continue
+                shed = isinstance(exc, RateLimited)
+                retry_after = exc.retry_after if shed else None
+                if shed:
+                    if metrics is not None:
+                        metrics.rate_limited += 1
+                    if limiter is not None:
+                        limiter.on_overload(retry_after)
+                else:
+                    if isinstance(exc, AttemptTimeout) and metrics is not None:
+                        metrics.attempt_timeouts += 1
+                    if breaker is not None:
+                        breaker.record_failure()
+                if attempt >= policy.max_attempts:
+                    if metrics is not None:
+                        metrics.failures += 1
+                    raise
+                if retry_after is None and tail is not None \
+                        and not tail.allow_retry(tkey):
+                    # retry-storm guard: the budget is spent, so another
+                    # retry would only amplify the outage — fail fast
+                    # with the real error (a server-invited retry_after
+                    # wait is never charged: the server asked for it)
+                    if metrics is not None:
+                        metrics.failures += 1
+                        metrics.budget_exhausted += 1
+                    raise
+                if retry_after is not None:
+                    # honoured server hint: exact wait, no jitter, and the
+                    # exponential schedule stays where it was
+                    delay = retry_after
+                else:
+                    backoff_step += 1
+                    delay = policy.backoff(backoff_step, rng)
+                if deadline is not None and \
+                        clock.now() + delay >= deadline:
+                    # the wait itself would consume the request's remaining
+                    # deadline; abandon now with the real error instead of
+                    # sleeping into a guaranteed DeadlineExceeded
+                    if metrics is not None:
+                        metrics.failures += 1
+                        metrics.deadline_abandons += 1
+                    raise
+                if policy.deadline is not None and \
+                        clock.now() - start + delay > policy.deadline:
+                    if metrics is not None:
+                        metrics.failures += 1
+                    raise
+                if metrics is not None:
+                    metrics.retries += 1
+                    if retry_after is not None:
+                        metrics.honoured_retry_afters += 1
+                clock.advance(delay)
+            except RateLimited as exc:
+                # shed, but this policy does not retry shedding: still tell
+                # the pacer before propagating
+                if limiter is not None:
+                    limiter.on_overload(exc.retry_after)
                 if metrics is not None:
                     metrics.rate_limited += 1
-                if limiter is not None:
-                    limiter.on_overload(retry_after)
-            elif breaker is not None:
-                breaker.record_failure()
-            if attempt >= policy.max_attempts:
-                if metrics is not None:
                     metrics.failures += 1
                 raise
-            if retry_after is not None:
-                # honoured server hint: exact wait, no jitter, and the
-                # exponential schedule stays where it was
-                delay = retry_after
             else:
-                backoff_step += 1
-                delay = policy.backoff(backoff_step, rng)
-            if deadline is not None and \
-                    clock.now() + delay >= deadline:
-                # the wait itself would consume the request's remaining
-                # deadline; abandon now with the real error instead of
-                # sleeping into a guaranteed DeadlineExceeded
+                if breaker is not None:
+                    breaker.record_success()
+                if limiter is not None:
+                    limiter.on_success()
                 if metrics is not None:
-                    metrics.failures += 1
-                    metrics.deadline_abandons += 1
-                raise
-            if policy.deadline is not None and \
-                    clock.now() - start + delay > policy.deadline:
-                if metrics is not None:
-                    metrics.failures += 1
-                raise
-            if metrics is not None:
-                metrics.retries += 1
-                if retry_after is not None:
-                    metrics.honoured_retry_afters += 1
-            clock.advance(delay)
-        except RateLimited as exc:
-            # shed, but this policy does not retry shedding: still tell
-            # the pacer before propagating
-            if limiter is not None:
-                limiter.on_overload(exc.retry_after)
-            if metrics is not None:
-                metrics.rate_limited += 1
-                metrics.failures += 1
-            raise
-        else:
-            if breaker is not None:
-                breaker.record_success()
-            if limiter is not None:
-                limiter.on_success()
-            if metrics is not None:
-                metrics.successes += 1
-            return result
+                    metrics.successes += 1
+                if tail is not None:
+                    # only successful attempts feed the tracker: a sick
+                    # destination must not drag its own timeout upward
+                    tail.observe(tkey, clock.now() - attempt_started)
+                return result
+    finally:
+        if request is not None:
+            # the bound is strictly per-attempt; never let a stale one
+            # leak into whatever this request object does next
+            request.attempt_deadline = None
 
 
 class Resilience:
@@ -266,6 +352,9 @@ class Resilience:
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._limiter_factory = limiter_factory
         self._limiters: Dict[str, AimdLimiter] = {}
+        # shared TailController (set by ResilienceRuntime.for_client when
+        # the deployment enables the tail layer); None = tail defences off
+        self.tail: Optional[TailController] = None
 
     def breaker_for(self, dst: str) -> Optional[CircuitBreaker]:
         if self._breaker_factory is None:
@@ -293,7 +382,7 @@ class Resilience:
         return dict(self._limiters)
 
     def call(self, fn: Callable[[], object], dst: str = "",
-             deadline: Optional[float] = None):
+             deadline: Optional[float] = None, request=None):
         self.metrics.by_destination[dst] = \
             self.metrics.by_destination.get(dst, 0) + 1
         return call_with_resilience(
@@ -302,6 +391,8 @@ class Resilience:
             limiter=self.limiter_for(dst),
             label=f"{self.name}->{dst}",
             deadline=deadline,
+            tail=self.tail, tail_key=f"{self.name}->{dst}",
+            request=request,
         )
 
 
@@ -325,6 +416,7 @@ class ResilienceRuntime:
         recovery_time: float = 5.0,
         half_open_probes: int = 1,
         overload: Optional[OverloadConfig] = None,
+        tail: Optional[TailConfig] = None,
     ) -> None:
         self.clock = clock
         self.rng = rng
@@ -335,6 +427,11 @@ class ResilienceRuntime:
         # with an OverloadConfig, every kit paces its destinations with
         # an AIMD limiter sized from the config
         self.overload = overload
+        # with a TailConfig, every kit shares one TailController: the
+        # latency tracker, hedge budget and retry budget are deployment
+        # state, not per-client state
+        self.tail_controller = \
+            TailController(clock, tail) if tail is not None else None
         # optional (name, from_state, to_state, now) callback wired onto
         # every breaker this runtime creates; read lazily at breaker
         # construction, so setting it after kits exist still works (the
@@ -370,6 +467,7 @@ class ResilienceRuntime:
                 ),
                 limiter_factory=self._limiter_factory(),
             )
+            kit.tail = self.tail_controller
             self._clients[name] = kit
         return kit
 
@@ -399,6 +497,13 @@ class ResilienceRuntime:
             total.rate_limited += m.rate_limited
             total.honoured_retry_afters += m.honoured_retry_afters
             total.expired += m.expired
+            total.deadline_abandons += m.deadline_abandons
+            total.hedges += m.hedges
+            total.attempt_timeouts += m.attempt_timeouts
+            total.budget_exhausted += m.budget_exhausted
+            for dst, n in m.by_destination.items():
+                total.by_destination[dst] = \
+                    total.by_destination.get(dst, 0) + n
             for b in kit.breakers().values():
                 opens += b.opens
                 time_open += b.time_in_open()
@@ -412,4 +517,8 @@ class ResilienceRuntime:
         out["aimd_waits"] = aimd_waits
         out["aimd_wait_time"] = round(aimd_wait_time, 6)
         out["aimd_backoffs"] = aimd_backoffs
+        tc = self.tail_controller
+        if tc is not None:
+            out["hedge_budget_denied"] = tc.hedge_budget.denied
+            out["retry_budget_exhausted"] = tc.budget.exhausted
         return out

@@ -1,0 +1,467 @@
+"""Tail tolerance under gray failure: the latency-defence toolkit.
+
+The stack before this module only reacts to *hard* failures: breakers
+trip on errors, the balancer policies ignore latency, and the geo-router
+detours only on outright loss.  A replica (or a whole region) that is
+slow-but-alive — the canonical *gray failure* — degrades every login and
+introspection while tripping nothing.  This module supplies the four
+deterministic defences the balancer, retry layer and geo-router compose:
+
+* :class:`LatencyTracker` — streaming per-key latency quantiles (a
+  bucketed :class:`~repro.telemetry.metrics.Histogram` for quantiles plus
+  an EWMA for trend), fed only from *successful* attempts so a sick
+  destination cannot drag its own timeout up;
+* adaptive per-attempt deadlines — :meth:`TailConfig.clamp_timeout`
+  sizes each attempt's transport bound as ``clamp(k × p99)`` instead of
+  a fixed constant (the bound rides
+  :attr:`~repro.net.http.HttpRequest.attempt_deadline` and the network
+  abandons the attempt *before delivery*, so retrying it is as safe as
+  retrying an injected fault);
+* :class:`HedgeBudget` — caps speculative hedged attempts at a
+  configured fraction of calls, deterministically (no coin flips);
+* :class:`RetryBudget` — a per-(client×destination) token bucket that
+  deposits a fraction of a token per fresh call and charges one per
+  retry, so a brownout cannot metastasize into a retry storm: past the
+  budget, retries fail fast with the real error;
+* :class:`OutlierEjector` — per-member latency+error EWMAs with
+  temporary ejection of outliers (probation re-probes on expiry,
+  exponential back-off for repeat offenders, and a max-eject fraction so
+  the fleet can never eject itself to death).
+
+Everything here is arithmetic on the injected clock's timestamps — no
+wall-clock reads, no randomness — so enabling the tail layer keeps every
+run bit-for-bit reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import Histogram
+
+__all__ = [
+    "TailConfig",
+    "LatencyTracker",
+    "HedgeBudget",
+    "RetryBudget",
+    "OutlierEjector",
+    "TailController",
+    "hedgeable_request",
+]
+
+# finer low-end bounds than the telemetry default: attempt latencies in
+# the simulation start at one hop (1 ms), and the quantile interpolation
+# is only as sharp as the buckets around the mass
+TAIL_BUCKETS = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2,
+                0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+@dataclass(frozen=True)
+class TailConfig:
+    """Knobs for the tail-tolerance layer; each defence toggles
+    independently so the ABL11 arms can ablate them one at a time.
+
+    Attributes
+    ----------
+    adaptive_deadlines / hedging / ejection / retry_budget:
+        Per-defence switches.
+    timeout_quantile, timeout_multiplier, timeout_min, timeout_max:
+        Attempt timeout = ``clamp(multiplier × p(quantile))`` of the
+        destination's observed successful-attempt latency, clamped into
+        ``[timeout_min, timeout_max]``.
+    min_samples:
+        Observations required before any quantile-derived bound is
+        trusted; until then attempts run unbounded (cold-start safety).
+    hedge_quantile, hedge_multiplier, hedge_min:
+        The hedge fires after ``max(hedge_min, multiplier × p(quantile))``
+        — deliberately tighter than the attempt timeout, that is the
+        point of hedging.
+    hedge_budget_ratio:
+        Hedges are capped at this fraction of balanced calls.
+    eject_latency_ratio:
+        Eject a member whose latency EWMA exceeds this multiple of the
+        pool's median member EWMA.
+    eject_error_threshold:
+        … or whose error EWMA (fraction of failed attempts) exceeds this.
+    eject_min_samples, eject_duration, eject_max_backoff_mult,
+    max_eject_fraction:
+        Evidence floor, base ejection length (doubling per consecutive
+        re-ejection up to the back-off cap), and the fraction of the
+        fleet that may be ejected simultaneously (always leaving at
+        least one member).
+    retry_budget_ratio, retry_budget_cap:
+        Tokens deposited per fresh call and the bucket ceiling (buckets
+        start full, so cold-start retries still work).
+    """
+
+    adaptive_deadlines: bool = True
+    hedging: bool = True
+    ejection: bool = True
+    retry_budget: bool = True
+    # adaptive per-attempt deadlines
+    timeout_quantile: float = 0.99
+    timeout_multiplier: float = 3.0
+    timeout_min: float = 0.02
+    timeout_max: float = 2.0
+    min_samples: int = 20
+    # hedged requests
+    hedge_quantile: float = 0.95
+    hedge_multiplier: float = 2.0
+    hedge_min: float = 0.01
+    hedge_budget_ratio: float = 0.05
+    # latency-outlier ejection
+    eject_latency_ratio: float = 4.0
+    eject_error_threshold: float = 0.5
+    eject_min_samples: int = 8
+    eject_duration: float = 10.0
+    eject_max_backoff_mult: float = 8.0
+    max_eject_fraction: float = 0.5
+    # retry-storm guard
+    retry_budget_ratio: float = 0.1
+    retry_budget_cap: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.timeout_quantile < 1.0:
+            raise ConfigurationError(
+                f"timeout_quantile must be in (0, 1), got {self.timeout_quantile}")
+        if not 0.0 < self.hedge_quantile < 1.0:
+            raise ConfigurationError(
+                f"hedge_quantile must be in (0, 1), got {self.hedge_quantile}")
+        if self.timeout_min <= 0 or self.timeout_max < self.timeout_min:
+            raise ConfigurationError(
+                "need 0 < timeout_min <= timeout_max, got "
+                f"[{self.timeout_min}, {self.timeout_max}]")
+        if not 0.0 <= self.hedge_budget_ratio <= 1.0:
+            raise ConfigurationError(
+                f"hedge_budget_ratio must be in [0, 1], got {self.hedge_budget_ratio}")
+        if self.eject_latency_ratio <= 1.0:
+            raise ConfigurationError(
+                f"eject_latency_ratio must exceed 1, got {self.eject_latency_ratio}")
+        if not 0.0 < self.max_eject_fraction <= 1.0:
+            raise ConfigurationError(
+                f"max_eject_fraction must be in (0, 1], got {self.max_eject_fraction}")
+        if self.retry_budget_ratio < 0 or self.retry_budget_cap < 1.0:
+            raise ConfigurationError(
+                "retry budget needs ratio >= 0 and cap >= 1, got "
+                f"ratio={self.retry_budget_ratio} cap={self.retry_budget_cap}")
+
+    # ------------------------------------------------------------------
+    def clamp_timeout(self, p: float) -> float:
+        """The adaptive attempt timeout for an observed ``p(quantile)``."""
+        return max(self.timeout_min, min(self.timeout_max,
+                                         self.timeout_multiplier * p))
+
+    def hedge_delay_from(self, p: float) -> float:
+        """The hedge-fire delay for an observed ``p(hedge_quantile)``."""
+        return max(self.hedge_min, self.hedge_multiplier * p)
+
+
+def hedgeable_request(request) -> bool:
+    """May a speculative duplicate of ``request`` be issued?
+
+    The transport abandons a bounded attempt *before delivery*, so even
+    a duplicated mint could never double-apply — but hedging is still
+    restricted to read-shaped traffic (safe methods plus the
+    introspection read) as defence in depth: mutation paths stay
+    unhedged-or-idempotent by construction, never by argument.
+    """
+    return request.method.upper() in ("GET", "HEAD") \
+        or request.path in ("/introspect", "/jwks.json")
+
+
+class LatencyTracker:
+    """Streaming per-key latency distribution: quantiles + EWMA.
+
+    Quantiles come from a bucketed histogram (the same interpolation the
+    telemetry SLO checks use — see
+    :meth:`repro.telemetry.metrics.Histogram.quantile`), which makes them
+    O(buckets) to read, bounded-memory, and deterministic.  The EWMA
+    tracks the recent mean for trend displays and ejection scoring.
+    """
+
+    def __init__(self, *, alpha: float = 0.2,
+                 buckets: Sequence[float] = TAIL_BUCKETS) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._hist = Histogram("tail_latency_seconds",
+                               "per-key attempt latency", buckets=buckets)
+        self._ewma: Dict[str, float] = {}
+        self._count: Dict[str, int] = {}
+
+    def observe(self, key: str, value: float) -> None:
+        self._hist.observe(value, key=key)
+        prev = self._ewma.get(key)
+        self._ewma[key] = value if prev is None else \
+            prev + self.alpha * (value - prev)
+        self._count[key] = self._count.get(key, 0) + 1
+
+    def quantile(self, key: str, q: float) -> float:
+        return self._hist.quantile(q, key=key)
+
+    def ewma(self, key: str) -> Optional[float]:
+        return self._ewma.get(key)
+
+    def count(self, key: str) -> int:
+        return self._count.get(key, 0)
+
+    def forget(self, key: str) -> None:
+        """Drop a key's EWMA/count (membership churn hygiene)."""
+        self._ewma.pop(key, None)
+        self._count.pop(key, None)
+
+
+class HedgeBudget:
+    """Deterministic cap: hedges ≤ ``ratio`` of calls (plus one grace
+    hedge so the very first exceedance can still fire)."""
+
+    def __init__(self, ratio: float) -> None:
+        self.ratio = ratio
+        self.calls = 0
+        self.hedges = 0
+        self.denied = 0
+
+    def record_call(self) -> None:
+        self.calls += 1
+
+    def allowed(self) -> bool:
+        """May one more hedge fire right now?"""
+        if self.ratio <= 0.0:
+            return False
+        return self.hedges < self.ratio * self.calls + 1
+
+    def consume(self) -> None:
+        self.hedges += 1
+
+    def deny(self) -> None:
+        self.denied += 1
+
+
+class RetryBudget:
+    """Token-bucket retry budget per key (``client->destination``).
+
+    Every fresh call deposits ``ratio`` tokens (ceiling ``cap``); every
+    retry withdraws one.  An empty bucket means the destination is
+    already saturated with our retries — further ones amplify the
+    outage — so the caller must fail fast instead.  Buckets start full:
+    a cold client may still ride through a transient blip.
+    """
+
+    def __init__(self, ratio: float, cap: float) -> None:
+        self.ratio = ratio
+        self.cap = cap
+        self._tokens: Dict[str, float] = {}
+        self.exhausted = 0
+        self.exhausted_by_key: Dict[str, int] = {}
+
+    def tokens(self, key: str) -> float:
+        return self._tokens.get(key, self.cap)
+
+    def on_call(self, key: str) -> None:
+        self._tokens[key] = min(self.cap, self.tokens(key) + self.ratio)
+
+    def try_retry(self, key: str) -> bool:
+        tokens = self.tokens(key)
+        if tokens >= 1.0:
+            self._tokens[key] = tokens - 1.0
+            return True
+        self.exhausted += 1
+        self.exhausted_by_key[key] = self.exhausted_by_key.get(key, 0) + 1
+        return False
+
+
+class OutlierEjector:
+    """Latency/error-outlier ejection with probation, for any string-keyed
+    fleet (pool replicas, or regions under the geo-router).
+
+    A member is *ejected* when, with at least ``eject_min_samples`` of
+    evidence, its latency EWMA exceeds ``eject_latency_ratio`` × the
+    median member EWMA, or its error EWMA exceeds
+    ``eject_error_threshold``.  Ejection is temporary: after
+    ``eject_duration`` (doubling per consecutive re-ejection, capped at
+    ``eject_max_backoff_mult``×) the member re-enters on *probation* —
+    its stats reset so the next few requests re-probe it with fresh
+    evidence instead of the stale EWMA instantly re-ejecting it.  At
+    most ``max_eject_fraction`` of the fleet may be out at once, and
+    never the last remaining candidate.
+    """
+
+    def __init__(self, clock, cfg: TailConfig, *,
+                 alpha: float = 0.3) -> None:
+        self.clock = clock
+        self.cfg = cfg
+        self.alpha = alpha
+        self._latency: Dict[str, float] = {}
+        self._errors: Dict[str, float] = {}
+        self._samples: Dict[str, int] = {}
+        self._ejected_until: Dict[str, float] = {}
+        self._strikes: Dict[str, int] = {}  # consecutive ejections
+        self.ejections = 0
+        self.reinstates = 0
+        # optional callable(member) fired when an expired ejection flips
+        # to probation — the owner (balancer/router) bridges it to
+        # telemetry, since the ejector itself stays observation-free
+        self.on_reinstate = None
+
+    # ------------------------------------------------------------------
+    def record(self, member: str, latency: float, ok: bool) -> None:
+        """Feed one attempt's outcome and re-score the member."""
+        prev = self._latency.get(member)
+        self._latency[member] = latency if prev is None else \
+            prev + self.alpha * (latency - prev)
+        err = 0.0 if ok else 1.0
+        prev_err = self._errors.get(member)
+        self._errors[member] = err if prev_err is None else \
+            prev_err + self.alpha * (err - prev_err)
+        self._samples[member] = self._samples.get(member, 0) + 1
+        if ok:
+            # good evidence clears the strike ladder: the member is
+            # behaving again, so the next ejection starts at base length
+            self._strikes.pop(member, None)
+
+    def latency_ewma(self, member: str) -> Optional[float]:
+        return self._latency.get(member)
+
+    def error_ewma(self, member: str) -> float:
+        return self._errors.get(member, 0.0)
+
+    def forget(self, member: str) -> None:
+        """Purge a departed member entirely (membership churn hygiene)."""
+        for store in (self._latency, self._errors, self._samples,
+                      self._ejected_until, self._strikes):
+            store.pop(member, None)
+
+    # ------------------------------------------------------------------
+    def _max_ejectable(self, fleet_size: int) -> int:
+        if fleet_size <= 1:
+            return 0
+        allowed = int(self.cfg.max_eject_fraction * fleet_size)
+        return min(fleet_size - 1, max(0, allowed))
+
+    def ejected(self, fleet: Sequence[str]) -> List[str]:
+        now = self.clock.now()
+        return [m for m in fleet
+                if self._ejected_until.get(m, 0.0) > now]
+
+    def is_ejected(self, member: str, fleet: Sequence[str]) -> bool:
+        """True while ``member`` sits out.  An expired ejection flips the
+        member to probation: stats reset so re-probing starts fresh."""
+        until = self._ejected_until.get(member)
+        if until is None:
+            return False
+        if self.clock.now() < until:
+            return True
+        # probation: the sentence is served; wipe the stale EWMAs so the
+        # next requests re-probe with current evidence
+        del self._ejected_until[member]
+        self._latency.pop(member, None)
+        self._errors.pop(member, None)
+        self._samples.pop(member, None)
+        self.reinstates += 1
+        if self.on_reinstate is not None:
+            self.on_reinstate(member)
+        return False
+
+    def should_eject(self, member: str, fleet: Sequence[str]) -> bool:
+        """Would ejecting ``member`` now be justified *and* safe?"""
+        if self._samples.get(member, 0) < self.cfg.eject_min_samples:
+            return False
+        peers = [m for m in fleet if m != member
+                 and self._latency.get(m) is not None]
+        outlier = False
+        if self._errors.get(member, 0.0) > self.cfg.eject_error_threshold:
+            outlier = True
+        elif peers:
+            lat = self._latency.get(member)
+            ewmas = sorted(self._latency[m] for m in peers)
+            median = ewmas[len(ewmas) // 2]
+            if lat is not None and median > 0 and \
+                    lat > self.cfg.eject_latency_ratio * median:
+                outlier = True
+        if not outlier:
+            return False
+        active = len(self.ejected(fleet))
+        return active + 1 <= self._max_ejectable(len(fleet))
+
+    def eject(self, member: str) -> float:
+        """Eject ``member`` (the caller has checked :meth:`should_eject`);
+        returns the reinstatement time."""
+        strikes = self._strikes.get(member, 0)
+        mult = min(2.0 ** strikes, self.cfg.eject_max_backoff_mult)
+        until = self.clock.now() + self.cfg.eject_duration * mult
+        self._ejected_until[member] = until
+        self._strikes[member] = strikes + 1
+        self.ejections += 1
+        return until
+
+
+class TailController:
+    """The client-side tail state one :class:`ResilienceRuntime` shares
+    across its kits: a destination-keyed latency tracker for adaptive
+    attempt deadlines, and the retry-storm budget.
+
+    ``audit`` (an :class:`~repro.audit.AuditLog`, wired by the
+    deployment) receives a ``retry.budget_exhausted`` record per refused
+    retry — the raw material for the SOC's ``RetryStormRule``.
+    """
+
+    def __init__(self, clock, cfg: TailConfig) -> None:
+        self.clock = clock
+        self.cfg = cfg
+        self.tracker = LatencyTracker()
+        self.budget = RetryBudget(cfg.retry_budget_ratio,
+                                  cfg.retry_budget_cap)
+        self.hedge_budget = HedgeBudget(cfg.hedge_budget_ratio)
+        self.audit = None        # AuditLog, wired by the deployment
+        self.telemetry = None    # Telemetry, wired by the deployment
+
+    # ------------------------------------------------------------------
+    def hedge_delay(self, key: str) -> Optional[float]:
+        """How long the first attempt runs before a hedge may fire, or
+        ``None`` while evidence or the feature is lacking."""
+        if not self.cfg.hedging:
+            return None
+        if self.tracker.count(key) < self.cfg.min_samples:
+            return None
+        return self.cfg.hedge_delay_from(
+            self.tracker.quantile(key, self.cfg.hedge_quantile))
+
+    def attempt_timeout(self, key: str) -> Optional[float]:
+        """The adaptive per-attempt timeout for ``key`` (seconds), or
+        ``None`` while evidence or the feature is lacking."""
+        if not self.cfg.adaptive_deadlines:
+            return None
+        if self.tracker.count(key) < self.cfg.min_samples:
+            return None
+        return self.cfg.clamp_timeout(
+            self.tracker.quantile(key, self.cfg.timeout_quantile))
+
+    def observe(self, key: str, latency: float) -> None:
+        """Feed one *successful* attempt's latency."""
+        self.tracker.observe(key, latency)
+
+    def on_call(self, key: str) -> None:
+        if self.cfg.retry_budget:
+            self.budget.on_call(key)
+        if self.cfg.hedging:
+            self.hedge_budget.record_call()
+
+    def allow_retry(self, key: str) -> bool:
+        """Charge the retry budget; on refusal, audit + count the storm
+        evidence and tell the caller to fail fast."""
+        if not self.cfg.retry_budget:
+            return True
+        if self.budget.try_retry(key):
+            return True
+        if self.telemetry is not None:
+            self.telemetry.retry_budget_exhausted.inc(key=key)
+        if self.audit is not None:
+            client, _, dst = key.partition("->")
+            self.audit.record(
+                self.clock.now(), "resilience", client,
+                "retry.budget_exhausted", dst or key, "error",
+                key=key, refused=self.budget.exhausted_by_key.get(key, 0),
+            )
+        return False

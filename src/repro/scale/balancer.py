@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 from ..audit import Outcome
 from ..clock import SimClock
 from ..errors import (
+    AttemptTimeout,
     ConfigurationError,
     DeadlineExceeded,
     RateLimited,
@@ -28,6 +29,14 @@ from ..errors import (
 )
 from ..net.http import HttpRequest, HttpResponse, Service
 from ..resilience.breaker import CircuitBreaker
+from ..resilience.tail import (
+    HedgeBudget,
+    LatencyTracker,
+    OutlierEjector,
+    TailConfig,
+    hedgeable_request,
+)
+from ..telemetry.context import TraceContext
 from .hashring import BoundedLoadRing
 
 __all__ = [
@@ -168,7 +177,10 @@ class RoundRobinPolicy:
         if not replicas:
             return []
         start = self._cursor % len(replicas)
-        self._cursor += 1
+        # keep the cursor bounded by the fleet size instead of counting
+        # up forever (satellite fix: an unbounded int is harmless in
+        # Python but wrong as state — and it made snapshots noisy)
+        self._cursor = (start + 1) % len(replicas)
         return replicas[start:] + replicas[:start]
 
     def acquire(self, replica: str) -> None:  # pragma: no cover - no-op
@@ -202,6 +214,13 @@ class LeastOutstandingPolicy:
 
     def release(self, replica: str) -> None:  # pragma: no cover - no-op
         pass
+
+    def forget(self, replica: str) -> None:
+        """Purge a departed replica's cumulative count (satellite fix:
+        `_served` used to grow forever across membership churn, and a
+        re-joined replica inherited its predecessor's count, skewing the
+        tie-break against it)."""
+        self._served.pop(replica, None)
 
 
 class ConsistentHashPolicy:
@@ -267,6 +286,24 @@ class LoadBalancer(Service):
     (``RateLimited``) — spreading a surge across the pool is exactly
     the point — but never on ``DeadlineExceeded``: expired work is
     expired everywhere.
+
+    With a :class:`~repro.resilience.tail.TailConfig` attached the
+    balancer also defends the latency tail:
+
+    * each replica attempt carries an adaptive per-attempt deadline
+      sized from the pool's observed successful latency (``k × p99``),
+      so one gray replica cannot hold a request hostage;
+    * read-shaped requests are *hedged*: the first attempt is bounded
+      at the much tighter hedge delay, and tripping it is not a fault —
+      the immediate failover to the next replica IS the hedge, with
+      the abandoned attempt's ``outstanding``/ring load released by
+      the same ``finally`` that serves ordinary failover (that *is*
+      the loser cancellation);
+    * per-replica latency/error EWMAs feed an
+      :class:`~repro.resilience.tail.OutlierEjector`: a replica that is
+      slow-but-alive is temporarily ejected (probation re-probes it),
+      never more than ``max_eject_fraction`` of the fleet and never the
+      last candidate.
     """
 
     def __init__(
@@ -280,6 +317,8 @@ class LoadBalancer(Service):
         failure_threshold: int = 5,
         recovery_time: float = 30.0,
         breaker_listener: Optional[Callable] = None,
+        tail: Optional[TailConfig] = None,
+        telemetry=None,
     ) -> None:
         super().__init__(name)
         self.clock = clock
@@ -294,6 +333,45 @@ class LoadBalancer(Service):
         self.failovers = 0
         self.exhausted = 0
         self._breakers: Dict[str, CircuitBreaker] = {}
+        # tail-tolerance state (all None when the tail layer is off).
+        # The latency tracker is POOL-wide: the balancer observes
+        # successes across the whole fleet, so its timeout/hedge
+        # quantiles describe what a healthy replica looks like, not what
+        # the gray one does; per-replica scoring lives in the ejector's
+        # EWMAs instead
+        self.tail = tail
+        self.telemetry = telemetry
+        self.tracker = LatencyTracker() if tail is not None else None
+        self.ejector = OutlierEjector(clock, tail) if tail is not None else None
+        self.hedge_budget = \
+            HedgeBudget(tail.hedge_budget_ratio) if tail is not None else None
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.attempt_timeouts = 0
+        if self.ejector is not None:
+            self.ejector.on_reinstate = self._on_reinstate
+        pool.on_membership(self._on_membership)
+
+    def _on_reinstate(self, replica: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.tail_reinstatements.inc(pool=self.pool.name)
+            self.telemetry.tail_ejected.set(0.0, member=replica)
+        if self.audit is not None:
+            self.log_event("system", "lb.reinstate", replica, Outcome.INFO,
+                           pool=self.pool.name)
+
+    def _on_membership(self, event: str, replica: str) -> None:
+        """Membership hygiene: a departed replica must not leave counters,
+        a breaker or ejection state behind to haunt its name's re-use."""
+        if event != "leave":
+            return
+        self.outstanding.pop(replica, None)
+        self._breakers.pop(replica, None)
+        forget = getattr(self.policy, "forget", None)
+        if forget is not None:
+            forget(replica)
+        if self.ejector is not None:
+            self.ejector.forget(replica)
 
     # ------------------------------------------------------------------
     def _breaker(self, replica: str) -> CircuitBreaker:
@@ -332,37 +410,102 @@ class LoadBalancer(Service):
     def _forward(self, request: HttpRequest) -> HttpResponse:
         replicas = self.pool.replicas()
         candidates = self.policy.order(replicas, request, self.outstanding)
+        if self.hedge_budget is not None:
+            self.hedge_budget.record_call()
         last_exc: Optional[Exception] = None
         tried = 0
+        hedged = False          # a hedge fired somewhere in this call
+        hedge_is_next = False   # the NEXT attempt is the hedge duplicate
         for replica in candidates:
+            if self.ejector is not None and \
+                    self.ejector.is_ejected(replica, candidates):
+                continue
             breaker = self._breaker(replica)
             if not self._healthy(replica) or not breaker.allow():
                 continue
             if tried:
-                self.failovers += 1
-                if self.audit is not None:
-                    self.log_event("system", "lb.failover", replica,
-                                   Outcome.INFO, pool=self.pool.name,
-                                   attempt=tried + 1)
+                if hedge_is_next:
+                    # the hedge re-issue is speculation, not failover
+                    hedge_is_next = False
+                else:
+                    self.failovers += 1
+                    if self.audit is not None:
+                        self.log_event("system", "lb.failover", replica,
+                                       Outcome.INFO, pool=self.pool.name,
+                                       attempt=tried + 1)
             tried += 1
+            # arm this attempt's transport bound: the first attempt of a
+            # hedgeable request gets the tight hedge delay (abandoning
+            # it fires the hedge), any other attempt the adaptive k×p99
+            # timeout — both sized from the POOL's successful latencies
+            hedge_armed = False
+            bound = None
+            if self.tail is not None:
+                if (tried == 1 and self.tail.hedging
+                        and hedgeable_request(request)
+                        and self.hedge_budget.allowed()
+                        and self._has_hedge_target(candidates, replica)):
+                    bound = self._hedge_delay()
+                    hedge_armed = bound is not None
+                if bound is None:
+                    bound = self._attempt_timeout()
             self.outstanding[replica] = self.outstanding.get(replica, 0) + 1
             self.policy.acquire(replica)
+            attempt_started = self.clock.now()
+            if bound is not None:
+                request.attempt_deadline = attempt_started + bound
             try:
                 response = self.call(replica, request)
             except DeadlineExceeded:
                 # not the replica's fault; don't trip its breaker
                 raise
+            except AttemptTimeout as exc:
+                elapsed = self.clock.now() - attempt_started
+                if hedge_armed:
+                    # hedge fired: this bounded attempt is the abandoned
+                    # loser; the next candidate serves the speculative
+                    # duplicate.  Deliberately NO breaker penalty — a
+                    # natural tail latency is not a fault
+                    hedged = True
+                    hedge_is_next = True
+                    self._record_hedge(request, replica, attempt_started)
+                else:
+                    self.attempt_timeouts += 1
+                    if self.telemetry is not None:
+                        self.telemetry.tail_attempt_timeouts.inc(
+                            pool=self.pool.name)
+                    breaker.record_failure()
+                self._score(replica, elapsed, ok=False, fleet=candidates)
+                last_exc = exc
+                continue
             except RateLimited as exc:
+                # shed is the replica protecting itself, not gray
+                # behaviour: no breaker penalty and no ejection evidence
                 last_exc = exc
                 continue
             except ServiceUnavailable as exc:
                 breaker.record_failure()
+                self._score(replica, self.clock.now() - attempt_started,
+                            ok=False, fleet=candidates)
                 last_exc = exc
                 continue
             finally:
+                # releases the loser's bookkeeping too: cancelling a
+                # hedged attempt must free its outstanding slot and its
+                # ring load, or the pool slowly chokes on ghosts
+                request.attempt_deadline = None
                 self.outstanding[replica] -= 1
                 self.policy.release(replica)
             breaker.record_success()
+            elapsed = self.clock.now() - attempt_started
+            if self.tracker is not None:
+                # only successful attempts feed the pool quantiles
+                self.tracker.observe(self.name, elapsed)
+            self._score(replica, elapsed, ok=True, fleet=candidates)
+            if hedged:
+                self.hedge_wins += 1
+                if self.telemetry is not None:
+                    self.telemetry.tail_hedge_wins.inc(pool=self.pool.name)
             self.routed += 1
             return response
         self.exhausted += 1
@@ -370,3 +513,80 @@ class LoadBalancer(Service):
             raise last_exc
         raise ServiceUnavailable(
             f"{self.name}: no healthy replica in pool {self.pool.name}")
+
+    # ------------------------------------------------------------------
+    # tail-tolerance internals
+    # ------------------------------------------------------------------
+    def _hedge_delay(self) -> Optional[float]:
+        """The bound on a hedge-armed first attempt, or None while the
+        pool lacks evidence (cold start runs unhedged)."""
+        if self.tracker.count(self.name) < self.tail.min_samples:
+            return None
+        return self.tail.hedge_delay_from(
+            self.tracker.quantile(self.name, self.tail.hedge_quantile))
+
+    def _attempt_timeout(self) -> Optional[float]:
+        """The adaptive per-attempt timeout, or None when disabled or
+        still short of evidence."""
+        if not self.tail.adaptive_deadlines:
+            return None
+        if self.tracker.count(self.name) < self.tail.min_samples:
+            return None
+        return self.tail.clamp_timeout(
+            self.tracker.quantile(self.name, self.tail.timeout_quantile))
+
+    def _has_hedge_target(self, candidates: List[str], first: str) -> bool:
+        """A hedge only makes sense when another replica could win it."""
+        for other in candidates:
+            if other == first:
+                continue
+            if not self._healthy(other):
+                continue
+            if self.ejector is not None and \
+                    self.ejector.is_ejected(other, candidates):
+                continue
+            return True
+        return False
+
+    def _record_hedge(self, request: HttpRequest, abandoned: str,
+                      attempt_started: float) -> None:
+        self.hedge_budget.consume()
+        self.hedges += 1
+        if self.telemetry is not None:
+            self.telemetry.tail_hedges.inc(pool=self.pool.name)
+            self.telemetry.tracer.record(
+                "lb.hedge", start=attempt_started, end=self.clock.now(),
+                service=self.name, kind="internal",
+                ctx=TraceContext.extract(request.headers),
+                pool=self.pool.name, abandoned=abandoned)
+        if self.audit is not None:
+            self.log_event("system", "lb.hedge", abandoned, Outcome.INFO,
+                           pool=self.pool.name)
+
+    def _score(self, replica: str, elapsed: float, *, ok: bool,
+               fleet: List[str]) -> None:
+        """Feed one attempt's outcome to the ejector; eject when both
+        justified and safe (never the last usable candidate)."""
+        if self.ejector is None or not self.tail.ejection:
+            return
+        # a slow SUCCESS is ejection evidence too: with adaptive
+        # deadlines ablated away, the gray replica's attempts complete
+        # (slowly), and the latency EWMA is all the ejector has to go on
+        self.ejector.record(replica, elapsed, ok)
+        if self.ejector.should_eject(replica, fleet):
+            until = self.ejector.eject(replica)
+            if self.telemetry is not None:
+                self.telemetry.tail_ejections.inc(
+                    pool=self.pool.name, replica=replica)
+                self.telemetry.tail_ejected.set(1.0, member=replica)
+                self.telemetry.tracer.record(
+                    "lb.eject", start=self.clock.now(), end=until,
+                    service=self.name, kind="internal",
+                    pool=self.pool.name, replica=replica)
+            if self.audit is not None:
+                lat = self.ejector.latency_ewma(replica)
+                self.log_event(
+                    "system", "lb.eject", replica, Outcome.INFO,
+                    pool=self.pool.name, until=round(until, 6),
+                    latency_ewma=round(lat if lat is not None else 0.0, 6),
+                    error_ewma=round(self.ejector.error_ewma(replica), 6))

@@ -7,6 +7,7 @@ from repro.siem.detections import (
     DetectionRule,
     DistinctTargetsRule,
     RegionLagRule,
+    RetryStormRule,
     ThresholdRule,
     standard_rules,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "DistinctTargetsRule",
     "CacheStalenessRule",
     "RegionLagRule",
+    "RetryStormRule",
     "standard_rules",
     "AssetInventory",
     "Asset",

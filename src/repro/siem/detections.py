@@ -19,6 +19,7 @@ __all__ = [
     "DistinctTargetsRule",
     "CacheStalenessRule",
     "RegionLagRule",
+    "RetryStormRule",
     "standard_rules",
 ]
 
@@ -247,6 +248,57 @@ class RegionLagRule(DetectionRule):
         )
 
 
+@dataclass
+class RetryStormRule(DetectionRule):
+    """Alert when the retry-storm guard keeps refusing retries toward one
+    destination.
+
+    The tail-tolerance layer audits every budget-refused retry as a
+    ``retry.budget_exhausted`` record (source ``resilience``, resource =
+    destination).  Scattered refusals are the budget doing routine
+    shaping; a *burst* of them against a single destination means the
+    fleet's clients are collectively amplifying an outage — a retry
+    storm in progress that only the budgets are containing.  Keyed by
+    destination (not actor): the storm is a property of the dependency,
+    contributed to by many clients.  One alert per destination per
+    ``window`` seconds.
+    """
+
+    name: str = "retry-storm"
+    severity: str = "high"
+    window: float = 30.0
+    count: int = 10
+    summary: str = ("retry storm toward {dst}: {count} retries refused "
+                    "by budget in 30s")
+    _hits: Dict[str, Deque[float]] = field(
+        default_factory=lambda: defaultdict(deque))
+    _last_alert: Dict[str, float] = field(default_factory=dict)
+
+    def observe(self, record: Dict[str, object]) -> Optional[Alert]:
+        if str(record.get("action", "")) != "retry.budget_exhausted":
+            return None
+        dst = str(record.get("resource", ""))
+        t = float(record.get("time", 0.0))
+        hits = self._hits[dst]
+        hits.append(t)
+        while hits and hits[0] <= t - self.window:
+            hits.popleft()
+        if len(hits) < self.count:
+            return None
+        last = self._last_alert.get(dst)
+        if last is not None and t - last < self.window:
+            return None
+        self._last_alert[dst] = t
+        return Alert(
+            time=t,
+            rule=self.name,
+            severity=self.severity,
+            actor="",   # dependency saturation: no principal to contain
+            summary=self.summary.format(dst=dst, count=len(hits)),
+            evidence_count=len(hits),
+        )
+
+
 def _denied(action_prefix: str):
     def pred(r: Dict[str, object]) -> bool:
         return (str(r.get("action", "")).startswith(action_prefix)
@@ -332,4 +384,7 @@ def standard_rules() -> List[DetectionRule]:
         # likewise inert without the region tier ("region.lag" records
         # only exist in multi-region deployments)
         RegionLagRule(),
+        # and inert without the tail layer ("retry.budget_exhausted"
+        # records only exist when a TailConfig enables the retry budget)
+        RetryStormRule(),
     ]

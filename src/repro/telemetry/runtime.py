@@ -111,6 +111,31 @@ class Telemetry:
             "repro_region_bus_events_total",
             "Cross-region bus traffic, by origin/dest and event "
             "(replicated/parked/flushed/fenced)")
+        # tail-tolerance layer
+        self.tail_attempt_timeouts = r.counter(
+            "repro_tail_attempt_timeouts_total",
+            "Attempts abandoned at their adaptive per-attempt deadline")
+        self.tail_hedges = r.counter(
+            "repro_tail_hedges_total",
+            "Speculative hedged attempts issued, by pool")
+        self.tail_hedge_wins = r.counter(
+            "repro_tail_hedge_wins_total",
+            "Hedged calls whose speculative attempt answered first")
+        self.tail_ejections = r.counter(
+            "repro_tail_ejections_total",
+            "Latency/error-outlier ejections, by pool and member")
+        self.tail_reinstatements = r.counter(
+            "repro_tail_reinstatements_total",
+            "Ejected members reinstated on probation, by pool")
+        self.tail_ejected = r.gauge(
+            "repro_tail_ejected",
+            "1 while a member sits ejected, 0 once reinstated")
+        self.retry_budget_exhausted = r.counter(
+            "repro_retry_budget_exhausted_total",
+            "Retries refused by the retry-storm budget, by client->dest key")
+        self.gray_detours = r.counter(
+            "repro_region_gray_detours_total",
+            "Requests routed away from a gray (slow-but-alive) home region")
 
         self._slos: Dict[str, SloMonitor] = {}
         self._slos_by_service: Dict[str, List[SloMonitor]] = {}
