@@ -1,0 +1,51 @@
+"""Continuous authorization: identity graph, session registry,
+revocation pipeline, and the re-evaluation loop.
+
+This package closes the paper's revocation gap: federated SSO makes it
+easy to *grant* access across IdP, SSH CA, Zenith and the schedulers,
+but until a single pipeline owned teardown, revoking meant chasing each
+surface by hand.  Here every live grant is registered under one
+canonical SPIFFE identity, one journaled pipeline fans ``revoke()`` out
+to all four enforcement surfaces with bounded time-to-revoke, and a
+continuous loop re-checks every session against policy — failing closed
+when the decision point is unreachable past the staleness bound.
+"""
+
+from dataclasses import dataclass
+
+from repro.authz.authorizer import (
+    AuthzGuard,
+    ContinuousAuthorizer,
+    PolicyDecisionPoint,
+)
+from repro.authz.config import SURFACES, AuthzConfig
+from repro.authz.identity import IdentityGraph
+from repro.authz.pipeline import RevocationIntent, RevocationPipeline
+from repro.authz.registry import Grant, SessionRegistry
+
+__all__ = [
+    "SURFACES",
+    "AuthzConfig",
+    "AuthzGuard",
+    "AuthzRuntime",
+    "ContinuousAuthorizer",
+    "Grant",
+    "IdentityGraph",
+    "PolicyDecisionPoint",
+    "RevocationIntent",
+    "RevocationPipeline",
+    "SessionRegistry",
+]
+
+
+@dataclass
+class AuthzRuntime:
+    """Everything the deployment wires for continuous authorization."""
+
+    config: AuthzConfig
+    graph: IdentityGraph
+    registry: SessionRegistry
+    pipeline: RevocationPipeline
+    pdp: PolicyDecisionPoint
+    guard: AuthzGuard
+    authorizer: ContinuousAuthorizer

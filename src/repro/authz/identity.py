@@ -1,0 +1,94 @@
+"""The identity graph: one canonical SPIFFE id per principal/workload.
+
+"Identity Control Plane: The Unifying Layer for Zero Trust
+Infrastructure" argues for exactly one identity graph behind every
+enforcement hop.  The repro's enforcement points each speak their own
+subject dialect — the broker speaks federated uids, sshd speaks UNIX
+accounts, Zenith speaks service-token subjects — and before this layer a
+revocation had to know every dialect.  :class:`IdentityGraph` is the
+translation table: principals are minted a ``spiffe://<td>/user/<uid>``
+id at onboarding, workloads get ``workload/<name>``, and aliases (the
+per-project UNIX accounts the portal allocates) are bound to the owning
+principal, so ``revoke(identity)`` can reach a live SSH session opened
+under ``proj1-alice`` from the federated uid ``alice`` alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.federation.spiffe import (
+    TrustDomainAuthority,
+    principal_id,
+    workload_id,
+)
+
+__all__ = ["IdentityGraph"]
+
+
+class IdentityGraph:
+    """Canonical-identity minting plus alias resolution.
+
+    Parameters
+    ----------
+    trust_domain:
+        SPIFFE trust domain ids are minted under.
+    authority:
+        Optional :class:`TrustDomainAuthority`; when present, minted
+        principals are also attested there so SVIDs can be issued for
+        humans exactly like for workloads.
+    """
+
+    def __init__(self, trust_domain: str = "isambard.example", *,
+                 authority: Optional[TrustDomainAuthority] = None) -> None:
+        self.trust_domain = trust_domain
+        self.authority = authority
+        self._principals: Dict[str, str] = {}   # uid -> spiffe id
+        self._workloads: Dict[str, str] = {}    # name -> spiffe id
+        self._accounts: Dict[str, str] = {}     # unix account -> uid
+
+    # ------------------------------------------------------------- minting
+    def principal(self, uid: str) -> str:
+        """Mint (or fetch) the canonical id of a human principal."""
+        spiffe = self._principals.get(uid)
+        if spiffe is None:
+            spiffe = principal_id(self.trust_domain, uid)
+            self._principals[uid] = spiffe
+            if self.authority is not None and not self.authority.registered(
+                    f"user/{uid}"):
+                self.authority.register_principal(uid)
+        return spiffe
+
+    def workload(self, name: str) -> str:
+        """Mint (or fetch) the canonical id of a workload/service."""
+        spiffe = self._workloads.get(name)
+        if spiffe is None:
+            spiffe = workload_id(self.trust_domain, name)
+            self._workloads[name] = spiffe
+        return spiffe
+
+    def bind_account(self, account: str, uid: str) -> None:
+        """Alias a per-project UNIX account to its owning principal
+        (the portal calls this when the account is allocated)."""
+        self._accounts[account] = uid
+
+    # ----------------------------------------------------------- resolution
+    def identity_of(self, subject: str, *, workload: bool = False) -> str:
+        """Canonical id for any subject dialect: a federated uid, a UNIX
+        account alias, or a service name (``workload=True``)."""
+        if workload:
+            return self.workload(subject)
+        uid = self._accounts.get(subject, subject)
+        return self.principal(uid)
+
+    def uid_of(self, spiffe: str) -> str:
+        """The bare subject behind a canonical id (last path segment)."""
+        return spiffe.rsplit("/", 1)[-1] if "/" in spiffe else spiffe
+
+    def accounts_of(self, uid: str) -> List[str]:
+        """Every UNIX account aliased to ``uid``, sorted for determinism."""
+        return sorted(a for a, u in self._accounts.items() if u == uid)
+
+    def known(self, spiffe: str) -> bool:
+        return (spiffe in self._principals.values()
+                or spiffe in self._workloads.values())

@@ -87,6 +87,12 @@ class TokenService:
         # call returns) so no replica cache still holds the token by the
         # time anyone observes the revocation
         self.bus = None
+        # continuous authorization: a repro.authz.SessionRegistry that
+        # tracks every live token as a grant under the subject's SPIFFE
+        # id, and an AuthzGuard that fails minting closed when the policy
+        # decision point has been unreachable past the staleness bound
+        self.session_registry = None
+        self.authz_guard = None
 
     # ------------------------------------------------------------------
     # minting
@@ -113,6 +119,11 @@ class TokenService:
         shipped (an audit-loop).
         """
         role_value = role.value if isinstance(role, Role) else str(role)
+        if self.authz_guard is not None and audit_issue:
+            # fail closed past the staleness bound (infrastructure mints
+            # with audit_issue=False — the log shipper — are exempt so
+            # losing the PDP cannot also sever the audit pipeline)
+            self.authz_guard.check("tokens", actor=subject)
         caps = sorted(capabilities_for(role_value))
         if not caps:
             raise AuthorizationError(f"role {role_value!r} grants no capabilities")
@@ -132,6 +143,13 @@ class TokenService:
         if project is not None:
             claims["project"] = project
         claims.update(extra_claims or {})
+        spiffe = ""
+        if self.session_registry is not None:
+            # stamp the canonical identity into the token itself, so
+            # every downstream surface agrees who this credential is
+            spiffe = self.session_registry.graph.identity_of(
+                subject, workload=role_value == Role.SERVICE.value)
+            claims.setdefault("spiffe_id", spiffe)
         token = encode_jwt(claims, self.key)
         record = IssuedToken(
             jti=jti,
@@ -145,11 +163,20 @@ class TokenService:
         if self.publish is not None:
             self.publish("rbac.mint", asdict(record))
         self._issued[jti] = record
+        if self.session_registry is not None and audit_issue:
+            # infrastructure mints (audit_issue=False) are not tracked as
+            # grants: the log shipper re-mints per shipment, so tracking
+            # them would keep the registry from ever draining to zero
+            self.session_registry.track(
+                "rbac-token", "tokens", subject, jti,
+                project=project, expires_at=now + effective_ttl,
+                workload=role_value == Role.SERVICE.value)
         if audit_issue:
+            extra_audit = {"spiffe_id": spiffe} if spiffe else {}
             self.audit.record(
                 now, "token-service", subject, "rbac.mint", jti, Outcome.SUCCESS,
                 audience=audience, role=role_value, project=project or "",
-                ttl=effective_ttl,
+                ttl=effective_ttl, **extra_audit,
             )
         return token, record
 
@@ -164,6 +191,8 @@ class TokenService:
         self._revoked.add(jti)
         if self.bus is not None:
             self.bus.publish("token.revoked", key=jti)
+        if self.session_registry is not None:
+            self.session_registry.close("rbac-token", jti, reason="revoked")
         self.audit.record(
             self.clock.now(), "token-service", "system", "rbac.revoke", jti,
             Outcome.INFO, jti=jti,
@@ -192,6 +221,10 @@ class TokenService:
         if self.bus is not None:
             for jti in hit:
                 self.bus.publish("token.revoked", key=jti, subject=subject)
+        if self.session_registry is not None:
+            for jti in hit:
+                self.session_registry.close("rbac-token", jti,
+                                            reason="subject-revoked")
         n = len(hit)
         if n:
             self.audit.record(

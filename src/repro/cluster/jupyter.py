@@ -120,6 +120,10 @@ class JupyterService(Service):
         # uncached so a refusal is always a fresh broker verdict.
         self.introspection_cache = None
         self.introspection_hit = False
+        # continuous authorization: notebook sessions tracked as grants;
+        # spawns fail closed when the PDP is unreachable too long
+        self.session_registry = None
+        self.authz_guard = None
 
     # ------------------------------------------------------------------
     def _introspect(self, token: str, jti: str, subject: str) -> None:
@@ -198,6 +202,8 @@ class JupyterService(Service):
         claims = self.validator.validate(token)
         require_capability(claims, "jupyter.use")
         subject = str(claims["sub"])
+        if self.authz_guard is not None:
+            self.authz_guard.check("compute", actor=subject)
         self._introspect(token, str(claims["jti"]), subject)
         account = str(claims.get("unix_account", ""))
         # scale mode: flag decisions that rode a replica cache (local
@@ -228,9 +234,16 @@ class JupyterService(Service):
             node.allocated_to = session.session_id
             self._sessions[session.session_id] = session
             self.spawns += 1
+            extra_audit: Dict[str, object] = {}
+            if self.session_registry is not None:
+                grant = self.session_registry.track(
+                    "jupyter", "compute", subject, session.session_id,
+                    expires_at=session.expires_at)
+                extra_audit["spiffe_id"] = grant.spiffe_id
             self.log_event(subject, "jupyter.spawn",
                               session.session_id, Outcome.SUCCESS,
-                              node=node.node_id, account=account)
+                              node=node.node_id, account=account,
+                              **extra_audit)
         return HttpResponse.json(
             {
                 "notebook": "ready",
@@ -260,6 +273,9 @@ class JupyterService(Service):
             return False
         s.closed = True
         self.pool.release(s.session_id)
+        if self.session_registry is not None:
+            self.session_registry.close("jupyter", s.session_id,
+                                        reason="closed")
         return True
 
     def close_sessions_for(self, subject: str) -> int:

@@ -97,12 +97,19 @@ class SlurmScheduler:
         self.submissions_shed = 0
         self._jobs: Dict[str, Job] = {}
         self._queue: List[str] = []
+        # continuous authorization: pending/running jobs tracked as
+        # grants; submissions fail closed when the PDP is unreachable
+        # past the staleness bound
+        self.session_registry = None
+        self.authz_guard = None
 
     # ------------------------------------------------------------------
     def submit(
         self, account: str, project_id: str, *, nodes: int = 1, walltime: float = 3600.0
     ) -> Job:
         """Queue a job; charges the allocation up front (reservation)."""
+        if self.authz_guard is not None:
+            self.authz_guard.check("compute", actor=account)
         if nodes < 1:
             raise SchedulerError("a job needs at least one node")
         if walltime <= 0 or walltime > self.max_walltime:
@@ -138,6 +145,10 @@ class SlurmScheduler:
         self.charge(project_id, job.gpu_hours(self.charge_units_per_node))
         self._jobs[job.job_id] = job
         self._queue.append(job.job_id)
+        if self.session_registry is not None:
+            self.session_registry.track(
+                "slurm-job", "compute", account, job.job_id,
+                project=project_id)
         self.audit.record(
             self.clock.now(), "slurm", account, "job.submit", job.job_id,
             Outcome.SUCCESS, project=project_id, nodes=nodes, walltime=walltime,
@@ -185,6 +196,9 @@ class SlurmScheduler:
         job.state = JobState.COMPLETED
         job.finished_at = self.clock.now()
         self.pool.release(job.job_id)
+        if self.session_registry is not None:
+            self.session_registry.close("slurm-job", job.job_id,
+                                        reason="completed")
         self.audit.record(
             self.clock.now(), "slurm", job.account, "job.complete", job.job_id,
             Outcome.SUCCESS,
@@ -200,6 +214,9 @@ class SlurmScheduler:
             self.pool.release(job.job_id)
         job.state = JobState.CANCELLED
         job.finished_at = self.clock.now()
+        if self.session_registry is not None:
+            self.session_registry.close("slurm-job", job.job_id,
+                                        reason="cancelled")
         self.audit.record(
             self.clock.now(), "slurm", by, "job.cancel", job.job_id, Outcome.INFO,
         )

@@ -25,6 +25,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.audit import AuditLog, CombinedAuditView
+from repro.authz import (
+    AuthzConfig,
+    AuthzGuard,
+    AuthzRuntime,
+    ContinuousAuthorizer,
+    IdentityGraph,
+    PolicyDecisionPoint,
+    RevocationPipeline,
+    SessionRegistry,
+)
 from repro.broker import IdentityBroker, RbacTokenValidator, Role
 from repro.clock import SimClock
 from repro.errors import (
@@ -193,6 +203,8 @@ class IsambardDeployment:
     region_autoscalers: List[Autoscaler] = field(default_factory=list)
     # tail-tolerance layer (repro.resilience.tail); None unless tail on
     tail: Optional[TailConfig] = None
+    # continuous authorization (repro.authz); None unless authz on
+    authz: Optional[AuthzRuntime] = None
 
     # ------------------------------------------------------------------
     def validator_for(self, audience: str) -> RbacTokenValidator:
@@ -320,6 +332,7 @@ def build_isambard(
     scale: Union[bool, ScaleConfig] = False,
     regions: Union[bool, RegionConfig] = False,
     tail: Union[bool, TailConfig] = False,
+    authz: Union[bool, AuthzConfig] = False,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
 
@@ -399,6 +412,23 @@ def build_isambard(
     feeds the SOC's ``retry-storm`` rule.  Pass a
     :class:`~repro.resilience.TailConfig` to resize the knobs or ablate
     individual defences.
+
+    ``authz`` turns on continuous authorization (PR 8): every principal
+    and workload gets a canonical SPIFFE-style identity, every live
+    grant (token, SSH cert/session, Zenith tunnel/web session, Jupyter
+    server, Slurm job) is tracked in a
+    :class:`~repro.authz.SessionRegistry`, and one journaled
+    :class:`~repro.authz.RevocationPipeline` fans every revocation —
+    portal off-boarding, SOC kill switch, policy re-evaluation — across
+    all four enforcement surfaces with per-surface retry and bounded
+    time-to-revoke.  A :class:`~repro.authz.ContinuousAuthorizer`
+    re-checks live sessions against the policy engine on a timer and on
+    assurance/threat-score changes; every admission path fails closed
+    when the PDP has been unreachable past the configured staleness
+    bound.  Pass an :class:`~repro.authz.AuthzConfig` to tune the
+    bounds.  With ``durability`` also on, the pipeline's outbox is
+    journaled and ``dri.crash("authz")`` / ``dri.restart("authz")``
+    model a crash mid-revocation that resumes on recovery.
     """
     region_cfg: Optional[RegionConfig] = None
     if regions:
@@ -416,6 +446,12 @@ def build_isambard(
             # the tail defences live inside the retry layer; without a
             # runtime there is nothing to attach them to
             resilience = True
+    authz_cfg: Optional[AuthzConfig] = None
+    if authz:
+        authz_cfg = authz if isinstance(authz, AuthzConfig) else AuthzConfig()
+    # assembled late (after durability/failover); declared here so the
+    # portal's revocation closure can route through it once it exists
+    authz_rt: Optional[AuthzRuntime] = None
     clock = SimClock(start=0.0)
     ids = IdFactory(seed=seed)
     tele: Optional[Telemetry] = Telemetry(clock) if telemetry else None
@@ -627,7 +663,19 @@ def build_isambard(
 
     # dynamic policy (tenet 4): posture rules enforced at the management
     # plane on top of token validation
-    policy_engine = standard_zero_trust_rules(PolicyEngine())
+    policy_engine = PolicyEngine()
+    if authz_cfg is not None:
+        # the continuous-authorization assurance floor must precede the
+        # pack's capability allow or it would never fire: a live session
+        # whose identity's LoA stepped below the floor is denied on
+        # re-evaluation and handed to the revocation pipeline
+        policy_engine.deny(
+            "assurance-below-floor",
+            lambda c, floor=authz_cfg.min_loa: (
+                bool(c.attrs.get("continuous")) and c.loa < floor),
+            reason="identity assurance below the continuous-session floor",
+        )
+    policy_engine = standard_zero_trust_rules(policy_engine)
 
     # ------------------------------------------------------------------ MDC
     def account_exists(username: str) -> bool:
@@ -925,6 +973,13 @@ def build_isambard(
 
     # --- the revocation fan-out the portal hook calls --------------------
     def _revoke_everywhere(uid: str, project: str, account: str) -> None:
+        if authz_rt is not None:
+            # continuous authorization routes the teardown through the
+            # journaled pipeline: one intent, four surfaces, crash-safe
+            authz_rt.pipeline.revoke(
+                uid=uid, project=project, reason="portal-revocation",
+                by="portal")
+            return
         active_broker[0].revoke_user_access(uid, project)
         if account:
             login_sshd.close_sessions_for(account)
@@ -1049,6 +1104,131 @@ def build_isambard(
             if isinstance(rule, CacheStalenessRule):
                 rule.tolerance = region_cfg.staleness_bound
 
+    # --- continuous authorization: identity, registry, pipeline, loop ----
+    if authz_cfg is not None:
+        graph = IdentityGraph(authz_cfg.trust_domain, authority=spire)
+        session_registry = SessionRegistry(clock, graph=graph)
+        pdp = PolicyDecisionPoint(clock, policy_engine)
+        guard = AuthzGuard(
+            clock, pdp, staleness_bound=authz_cfg.staleness_bound,
+            audit=logs["fds"], telemetry=tele,
+        )
+        pipeline = RevocationPipeline(
+            clock, registry=session_registry, audit=logs["sec"],
+            telemetry=tele, retry_interval=authz_cfg.retry_interval,
+        )
+        authorizer = ContinuousAuthorizer(
+            clock, registry=session_registry, pipeline=pipeline, pdp=pdp,
+            guard=guard, audit=logs["sec"], config=authz_cfg,
+        )
+
+        def _authz_accounts(uid: str) -> List[str]:
+            accounts = graph.accounts_of(uid)
+            return accounts if accounts else [uid]
+
+        # the four enforcement fans, in SURFACES order (tokens first so
+        # a revoked principal cannot re-mint while later fans run)
+        def _teardown_tokens(intent) -> int:
+            # whole-user: a pipeline teardown severs the principal, not
+            # one project — intent.project stays as audit metadata only
+            summary = active_broker[0].revoke_user_access(intent.uid, None)
+            return sum(int(v) for v in summary.values())
+
+        def _teardown_ssh(intent) -> int:
+            n = active_ca[0].revoke_certificates_for(intent.uid)
+            for acct in _authz_accounts(intent.uid):
+                n += login_sshd.close_sessions_for(acct)
+                if with_isambard3:
+                    n += login_sshd_i3.close_sessions_for(acct)
+            return n
+
+        def _teardown_tunnels(intent) -> int:
+            return (zenith.revoke_web_sessions_for(intent.uid)
+                    + zenith.kill_tunnels_registered_by(intent.uid))
+
+        def _teardown_compute(intent) -> int:
+            n = jupyter.close_sessions_for(intent.uid)
+            for acct in _authz_accounts(intent.uid):
+                n += slurm.cancel_account(acct, by="revocation-pipeline")
+                if with_isambard3:
+                    n += slurm_i3.cancel_account(
+                        acct, by="revocation-pipeline")
+            return n
+
+        pipeline.register_point("tokens", _teardown_tokens)
+        pipeline.register_point("ssh", _teardown_ssh)
+        pipeline.register_point("tunnels", _teardown_tunnels)
+        pipeline.register_point("compute", _teardown_compute)
+
+        # every admission path tracks its grant and fails closed when
+        # the PDP is unreachable past the staleness bound
+        broker.tokens.session_registry = session_registry
+        broker.tokens.authz_guard = guard
+        ssh_ca.session_registry = session_registry
+        login_sshd.session_registry = session_registry
+        login_sshd.authz_guard = guard
+        zenith.session_registry = session_registry
+        zenith.authz_guard = guard
+        jupyter.session_registry = session_registry
+        jupyter.authz_guard = guard
+        slurm.session_registry = session_registry
+        slurm.authz_guard = guard
+        if with_isambard3:
+            login_sshd_i3.session_registry = session_registry
+            login_sshd_i3.authz_guard = guard
+            slurm_i3.session_registry = session_registry
+            slurm_i3.authz_guard = guard
+        if broker_standby is not None:
+            broker_standby.tokens.session_registry = session_registry
+            broker_standby.tokens.authz_guard = guard
+        if ca_standby is not None:
+            ca_standby.session_registry = session_registry
+
+        # portal: principals get canonical ids at onboarding, and its
+        # recovery resync re-drives any teardown a crash interrupted
+        portal.session_registry = session_registry
+        portal.authz_resync = (
+            lambda uid, project, account: pipeline.revoke(
+                uid=uid, project=project,
+                reason="portal-recovery-resync", by="portal-recovery"))
+
+        # without durability the sshds have no issuance registry wired;
+        # the CA-side revocation set must still bite on live certs
+        def _authz_cert_registered(serial: int, key_id: str) -> bool:
+            return active_ca[0].cert_registered(serial, key_id)
+
+        if login_sshd.cert_registry is None:
+            login_sshd.cert_registry = _authz_cert_registered
+        if with_isambard3 and login_sshd_i3.cert_registry is None:
+            login_sshd_i3.cert_registry = _authz_cert_registered
+
+        # kill switch delegates to the pipeline; SOC alerts feed the
+        # threat score the containment policy rule denies on
+        killswitch.pipeline = pipeline
+        killswitch.on_contain = authorizer.note_containment
+        soc.escalate = authorizer.on_alert
+
+        # chaos: pdp_down / teardown_stuck / revocation_storm faults
+        def _pdp_restore() -> None:
+            pdp.restore()
+            guard.heartbeat()
+            pipeline.drive_pending()
+            authorizer.reevaluate_all()
+
+        faults.register_pdp_hooks(pdp.down, _pdp_restore)
+        faults.register_teardown_hooks(pipeline.stick, pipeline.unstick)
+        faults.register_storm_hook(pipeline.inject_storm)
+
+        if store is not None:
+            # the outbox is the durable piece: journal it so a crash
+            # between intent publish and enforcement resumes on recover
+            pipeline.attach_journal(store.stream("authz-pipeline"))
+        authorizer.start()
+        authz_rt = AuthzRuntime(
+            config=authz_cfg, graph=graph, registry=session_registry,
+            pipeline=pipeline, pdp=pdp, guard=guard, authorizer=authorizer,
+        )
+
     # --- crash/restart hooks (chaos `crash` faults + dri.crash/restart) --
     crash_targets: Dict[str, tuple] = {}
 
@@ -1141,6 +1321,13 @@ def build_isambard(
 
     for fw in forwarders:
         crash_targets[fw.name] = _fw_target(fw)
+    if authz_rt is not None and store is not None:
+        # crash mid-revocation: the outbox journal replays the intents
+        # and verify_recovery re-drives everything still pending
+        crash_targets["authz"] = (
+            authz_rt.pipeline.wipe_state,
+            lambda: authz_rt.pipeline.recover(),
+        )
     for target, (crash_fn, restart_fn) in crash_targets.items():
         faults.register_crash_hooks(target, crash_fn, restart_fn)
 
@@ -1167,6 +1354,7 @@ def build_isambard(
         geo_router=geo_router, region_bus=rbus,
         region_autoscalers=region_autoscalers,
         tail=tail_cfg,
+        authz=authz_rt,
         caches=({} if token_cache is None else {
             "token-decisions": token_cache, "jwks": jwks_cache,
             "introspection": introspect_cache, "ssh-certs": cert_cache,

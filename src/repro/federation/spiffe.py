@@ -27,7 +27,38 @@ from repro.crypto.certs import SignedDocument, sign_document, verify_document
 from repro.crypto.keys import VerifyingKey, generate_signing_key
 from repro.errors import AuthenticationError, ConfigurationError, SignatureInvalid
 
-__all__ = ["WorkloadIdentity", "TrustDomainAuthority"]
+__all__ = [
+    "WorkloadIdentity",
+    "TrustDomainAuthority",
+    "principal_id",
+    "project_id",
+    "workload_id",
+]
+
+
+# ----------------------------------------------------------------------
+# canonical identity paths
+#
+# The continuous-authorization layer (repro.authz) keys *everything* —
+# live grants, revocation intents, audit stamps — by one canonical
+# SPIFFE id per principal, project and workload.  These helpers are the
+# single place the path layout is defined, so a token claim, an SSH
+# certificate key_id and a tunnel registration all agree on what
+# "alice's identity" is spelled like.
+# ----------------------------------------------------------------------
+def principal_id(trust_domain: str, uid: str) -> str:
+    """Canonical identity of a human principal (federated uid)."""
+    return f"spiffe://{trust_domain}/user/{uid}"
+
+
+def project_id(trust_domain: str, project: str) -> str:
+    """Canonical identity of a project (the authorisation scope)."""
+    return f"spiffe://{trust_domain}/project/{project}"
+
+
+def workload_id(trust_domain: str, path: str) -> str:
+    """Canonical identity of a workload (service subject)."""
+    return f"spiffe://{trust_domain}/workload/{path}"
 
 
 @dataclass(frozen=True)
@@ -88,6 +119,14 @@ class TrustDomainAuthority:
 
     def registered(self, path: str) -> bool:
         return path in self._registry
+
+    def register_principal(self, uid: str, *selectors: str) -> str:
+        """Attest a human principal at onboarding and return their
+        canonical SPIFFE id.  Principals live under ``user/<uid>`` so
+        SVIDs can be issued for them exactly like for workloads —
+        continuous authorization treats humans and services uniformly."""
+        self.register_workload(f"user/{uid}", *selectors)
+        return principal_id(self.trust_domain, uid)
 
     # ------------------------------------------------------------------
     def issue_svid(self, path: str) -> str:

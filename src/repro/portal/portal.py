@@ -87,6 +87,14 @@ class UserPortal(Service, Durable):
         self._projects: Dict[str, Project] = {}
         self._invitations: Dict[str, Invitation] = {}
         self._users: Dict[str, PortalUser] = {}
+        # continuous authorization: the identity graph mints the user's
+        # canonical SPIFFE id at onboarding and aliases their per-project
+        # UNIX accounts to it; authz_resync(uid, project, account) is the
+        # idempotent re-drive verify_recovery calls for every revoked
+        # membership, closing the crash window between the teardown
+        # journal entry and enforcement reaching the surfaces
+        self.session_registry = None
+        self.authz_resync: Optional[Callable[[str, str, str], None]] = None
 
     # ------------------------------------------------------------------
     # auth plumbing
@@ -268,8 +276,17 @@ class UserPortal(Service, Durable):
             self._users[uid] = PortalUser(
                 uid=uid, email=email, name=str(claims.get("name", "")), first_seen=now
             )
+        extra_audit: Dict[str, object] = {}
+        if self.session_registry is not None:
+            # onboarding mints the canonical identity and binds the new
+            # UNIX account as an alias, so revocation by federated uid
+            # reaches sessions opened under the per-project account
+            spiffe = self.session_registry.graph.principal(uid)
+            self.session_registry.graph.bind_account(account.username, uid)
+            extra_audit["spiffe_id"] = spiffe
         self._record(uid, "invitation.accept", project.project_id, Outcome.SUCCESS,
-                     role=str(invitation.role), unix_account=account.username)
+                     role=str(invitation.role), unix_account=account.username,
+                     **extra_audit)
         return HttpResponse.json(
             {
                 "project_id": project.project_id,
@@ -624,3 +641,17 @@ class UserPortal(Service, Durable):
                     lambda pid=project.project_id: self._expire(pid))
             else:
                 self._expire(project.project_id)
+        # continuous authorization resync: journal replay restores the
+        # *facts* (membership revoked, project closed) but deliberately
+        # never re-fires on_revoke.  If the pre-crash process died after
+        # publishing the teardown entry but before enforcement ran, those
+        # sessions are orphans — re-drive every revoked membership
+        # through the pipeline now; teardown is idempotent, so members
+        # already revoked everywhere are a no-op.
+        if self.authz_resync is not None:
+            for project in self._projects.values():
+                closed = project.status != ProjectStatus.ACTIVE
+                for m in project.members.values():
+                    if m.revoked or closed:
+                        self.authz_resync(m.uid, project.project_id,
+                                          m.unix_account)

@@ -29,7 +29,13 @@ Supported fault kinds (per endpoint, or per (domain, zone) flow):
   multi-region deployment registers (see :mod:`repro.region`);
 * **region partition** — inter-region replication and cross-region
   routing are severed both ways between two named regions, with a
-  deterministic heal that flushes queued replication in publish order.
+  deterministic heal that flushes queued replication in publish order;
+* **pdp_down** — the policy decision point goes unreachable; guarded
+  surfaces ride the staleness bound, then fail closed;
+* **teardown_stuck** — one enforcement surface stops confirming
+  revocations until the fault clears (the pipeline retries converge it);
+* **revocation_storm** — a burst of duplicate revocations lands on the
+  pipeline at one instant (coalescing keeps it from amplifying).
 
 Injected failures raise :class:`~repro.errors.FaultInjected`, a subclass
 of :class:`~repro.errors.ServiceUnavailable` — clients cannot tell chaos
@@ -58,6 +64,13 @@ REGION_DOWN = "region_down"
 # Mechanically a latency fault, but a distinct kind so chaos reports can
 # tell a transient network spike from a sick instance
 SLOW_REPLICA = "slow_replica"
+# continuous-authorization fault kinds (hooks registered by the authz
+# deployment tier): the policy decision point goes unreachable, one
+# enforcement surface's teardown wedges, or a burst of duplicate
+# revocations lands on the pipeline at once
+PDP_DOWN = "pdp_down"
+TEARDOWN_STUCK = "teardown_stuck"
+REVOCATION_STORM = "revocation_storm"
 
 
 @dataclass
@@ -137,6 +150,17 @@ class FaultInjector:
         # over whatever the fleet looks like when it is scheduled
         self._region_endpoint_fns: Dict[str, object] = {}
         self.gray_regions = 0
+        # continuous-authorization hooks, registered by the authz tier:
+        # (down_fn, restore_fn) for the PDP, (stick_fn, unstick_fn) for
+        # per-surface teardown wedges, storm_fn(count) for revocation
+        # storms.  Their marker endpoints carry an "authz:" prefix that
+        # never matches a real dst name, so perturb() ignores them.
+        self._pdp_hooks: Optional[Tuple[object, object]] = None
+        self._teardown_hooks: Optional[Tuple[object, object]] = None
+        self._storm_hook = None
+        self.pdp_outages = 0
+        self.teardowns_stuck = 0
+        self.revocation_storms = 0
 
     # ------------------------------------------------------------------
     # scheduling faults
@@ -360,6 +384,117 @@ class FaultInjector:
                 heal_fn(region_a, region_b)
                 fault.clear()
             self.clock.call_at(start + duration, _heal)
+        return fault
+
+    # ------------------------------------------------------------------
+    # continuous-authorization faults (the authz tier registers the hooks)
+    # ------------------------------------------------------------------
+    def register_pdp_hooks(self, down_fn, restore_fn) -> None:
+        """Teach the injector how to kill and restore the policy decision
+        point.  ``restore_fn`` must also re-heartbeat the guards and
+        re-drive anything the pipeline left pending."""
+        self._pdp_hooks = (down_fn, restore_fn)
+
+    def pdp_down(self, *, at: Optional[float] = None,
+                 restore_after: Optional[float] = None) -> Fault:
+        """Make the policy decision point unreachable.
+
+        Enforcement surfaces ride their last good heartbeat for the
+        configured staleness bound, then fail closed.  ``restore_after``
+        schedules the heal; omit it to leave the PDP down until restored
+        explicitly.
+        """
+        if self._pdp_hooks is None:
+            raise ConfigurationError("no PDP hooks registered")
+        down_fn, restore_fn = self._pdp_hooks
+        start = self.clock.now() if at is None else at
+        fault = self._add(Fault(PDP_DOWN, "authz:pdp", start, restore_after))
+
+        def _fire() -> None:
+            if fault.cleared:
+                return
+            fault.hits += 1
+            fault.offers += 1
+            self.pdp_outages += 1
+            down_fn()
+
+        if start <= self.clock.now():
+            _fire()
+        else:
+            self.clock.call_at(start, _fire)
+        if restore_after is not None:
+            def _restore() -> None:
+                restore_fn()
+                fault.clear()
+            self.clock.call_at(start + restore_after, _restore)
+        return fault
+
+    def register_teardown_hooks(self, stick_fn, unstick_fn) -> None:
+        """Register the pair that wedges/unwedges one enforcement
+        surface's teardown; both take the surface name."""
+        self._teardown_hooks = (stick_fn, unstick_fn)
+
+    def teardown_stuck(self, surface: str, *, at: Optional[float] = None,
+                       duration: Optional[float] = None) -> Fault:
+        """Wedge one enforcement surface: revocations journal and fan out
+        everywhere else, but this surface confirms nothing until the
+        fault ends (the pipeline's retry loop then converges it)."""
+        if self._teardown_hooks is None:
+            raise ConfigurationError("no teardown hooks registered")
+        stick_fn, unstick_fn = self._teardown_hooks
+        start = self.clock.now() if at is None else at
+        fault = self._add(Fault(TEARDOWN_STUCK, f"authz:{surface}", start,
+                                duration))
+
+        def _stick() -> None:
+            if fault.cleared:
+                return
+            fault.hits += 1
+            fault.offers += 1
+            self.teardowns_stuck += 1
+            stick_fn(surface)
+
+        if start <= self.clock.now():
+            _stick()
+        else:
+            self.clock.call_at(start, _stick)
+        if duration is not None:
+            def _unstick() -> None:
+                unstick_fn(surface)
+                fault.clear()
+            self.clock.call_at(start + duration, _unstick)
+        return fault
+
+    def register_storm_hook(self, storm_fn) -> None:
+        """Register the callable that fires ``count`` revocations across
+        identities with live grants (the pipeline coalesces duplicates)."""
+        self._storm_hook = storm_fn
+
+    def revocation_storm(self, count: int, *,
+                         at: Optional[float] = None) -> Fault:
+        """Land a burst of ``count`` revocation requests on the pipeline
+        at one instant — the retry-storm guard and coalescing are what
+        keep this from amplifying into N full teardowns."""
+        if self._storm_hook is None:
+            raise ConfigurationError("no storm hook registered")
+        if count <= 0:
+            raise ConfigurationError(f"storm count must be > 0, got {count}")
+        storm_fn = self._storm_hook
+        start = self.clock.now() if at is None else at
+        fault = self._add(Fault(REVOCATION_STORM, "authz:pipeline", start))
+
+        def _fire() -> None:
+            if fault.cleared:
+                return
+            fired = storm_fn(count)
+            fault.hits += int(fired)
+            fault.offers += count
+            self.revocation_storms += 1
+
+        if start <= self.clock.now():
+            _fire()
+        else:
+            self.clock.call_at(start, _fire)
         return fault
 
     def heal_region_partition(self, region_a: str, region_b: str) -> None:

@@ -44,7 +44,8 @@ def event_to_record(event: AuditEvent) -> Dict[str, object]:
         "zone": event.zone,
         "attrs": {k: v for k, v in event.attrs.items()
                   if k in ("reason", "rule", "port", "via", "node",
-                           "trace_id", "jti", "region", "lag", "bound")},
+                           "trace_id", "jti", "region", "lag", "bound",
+                           "spiffe_id")},
     }
 
 

@@ -48,6 +48,13 @@ class KillSwitchController:
         self._restore_actions: Dict[str, Callable[[], None]] = {}
         self.history: List[ContainmentRecord] = []
         self.engaged = False
+        # continuous authorization: when a RevocationPipeline is wired,
+        # contain_user delegates to it — one journaled, retried, fenced
+        # teardown instead of a best-effort lever sweep.  on_contain lets
+        # the continuous authorizer pin the principal's risk score so
+        # re-admission stays denied after the teardown.
+        self.pipeline = None
+        self.on_contain: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------------
     def register_user_action(self, name: str, action: Callable[[str], object]) -> None:
@@ -67,21 +74,38 @@ class KillSwitchController:
 
     # ------------------------------------------------------------------
     def contain_user(self, principal: str) -> ContainmentRecord:
-        """Sever one principal across every registered lever."""
+        """Sever one principal across every registered lever.
+
+        With the revocation pipeline wired, the severing is one journaled
+        intent fanned across the enforcement surfaces (crash-safe,
+        retried, idempotent); without it, the legacy per-lever sweep runs.
+        """
+        if self.on_contain is not None:
+            self.on_contain(principal)
         details: Dict[str, object] = {}
-        for name, action in self._user_actions.items():
-            details[name] = action(principal)
+        if self.pipeline is not None:
+            intent = self.pipeline.revoke(
+                uid=principal, reason="killswitch.contain_user", by="soc")
+            details["pipeline"] = intent.intent_id
+            details.update(intent.done)
+            if not intent.complete:
+                details["pending"] = list(intent.pending)
+            actions_run = len(intent.done)
+        else:
+            for name, action in self._user_actions.items():
+                details[name] = action(principal)
+            actions_run = len(details)
         record = ContainmentRecord(
             time=self.clock.now(),
             verb="contain_user",
             target=principal,
-            actions_run=len(details),
+            actions_run=actions_run,
             details=details,
         )
         self.history.append(record)
         self.audit.record(
             self.clock.now(), "killswitch", "soc", "killswitch.contain_user",
-            principal, Outcome.INFO, actions=len(details),
+            principal, Outcome.INFO, actions=actions_run,
         )
         return record
 

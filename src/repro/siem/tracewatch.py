@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.audit import Outcome
 from repro.siem.detections import Alert, DetectionRule
 
 __all__ = ["TraceIntegrityRule", "TraceAnomalyScanner"]
@@ -75,11 +76,15 @@ class TraceAnomalyScanner:
     # policy working, not being bypassed
     _POLICY_ERRORS = ("ConnectionBlocked", "EncryptionRequired")
 
-    def __init__(self, network, store, *, severity: str = "high") -> None:
+    def __init__(self, network, store, *, severity: str = "high",
+                 telemetry=None, audit=None) -> None:
         self.network = network
         self.store = store
         self.severity = severity
+        self.telemetry = telemetry
+        self.audit = audit
         self._scanned: Set[str] = set()
+        self.skipped_spans = 0
 
     def scan(self) -> List[Alert]:
         alerts: List[Alert] = []
@@ -99,7 +104,23 @@ class TraceAnomalyScanner:
                 continue
             if (not self.network.has_endpoint(src)
                     or not self.network.has_endpoint(dst)):
-                continue  # topology changed (failover); cannot re-evaluate
+                # topology changed (failover); cannot re-evaluate the
+                # flow against current policy.  This used to be an
+                # invisible skip — an attacker crossing a boundary just
+                # before a failover simply vanished from the sweep.  Now
+                # every such span is counted and audited so the SOC can
+                # see how much of the window went unchecked.
+                self.skipped_spans += 1
+                if self.telemetry is not None:
+                    self.telemetry.tracewatch_skips.inc()
+                if self.audit is not None:
+                    self.audit.record(
+                        span.end if span.end is not None else span.start,
+                        "tracewatch", src or "?", "tracewatch.skip",
+                        span.span_id, Outcome.INFO,
+                        reason="topology-changed", dst=dst,
+                    )
+                continue
             port = int(span.attrs.get("port", 443))
             if self.network.reachable(src, dst, port):
                 continue

@@ -15,7 +15,7 @@ the broker routed to it, bounded by its maximum certificate lifetime.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.audit import AuditLog, Outcome
 from repro.broker.rbac import require_capability
@@ -73,6 +73,12 @@ class SshCertificateAuthority(Service, Durable):
         # serial -> {key_id, kind, valid_before}; the durable issuance
         # registry sshds consult when durability is enabled
         self._issued_certs: Dict[int, Dict[str, object]] = {}
+        # serials explicitly revoked before expiry (continuous authz):
+        # cert_registered() refuses them, so revocation reaches even
+        # sessions that have not been opened yet
+        self._revoked_serials: Set[int] = set()
+        # continuous-authorization plumbing (wired by the deployment)
+        self.session_registry = None
 
     def ca_public_key(self) -> VerifyingKey:
         """The key login nodes trust (provisioned at cluster build time)."""
@@ -145,8 +151,15 @@ class SshCertificateAuthority(Service, Durable):
             extensions={"issued_via": str(claims["sub"])},
         )
         self.certificates_issued += 1
+        extra_audit: Dict[str, object] = {}
+        if self.session_registry is not None:
+            grant = self.session_registry.track(
+                "ssh-cert", "ssh", key_id, str(self._serial),
+                expires_at=now + ttl)
+            extra_audit["spiffe_id"] = grant.spiffe_id
         self.log_event(key_id, "ca.sign", f"serial-{self._serial}",
             Outcome.SUCCESS, principals=list(principals), ttl=ttl,
+            **extra_audit,
         )
         from repro.crypto.jwk import public_jwk
 
@@ -162,12 +175,48 @@ class SshCertificateAuthority(Service, Durable):
         )
 
     # ------------------------------------------------------------------
+    # revocation (continuous authorization)
+    # ------------------------------------------------------------------
+    def revoke_certificates_for(self, key_id: str) -> int:
+        """Revoke every still-valid user certificate issued to ``key_id``.
+
+        Revoked serials fail :meth:`cert_registered`, so a certificate
+        that has not even been presented yet can no longer open a
+        session.  Journaled before the set mutates (write-ahead), and
+        idempotent: already-revoked serials are not counted again.
+        """
+        now = self.clock.now()
+        hit = sorted(
+            s for s, rec in self._issued_certs.items()
+            if rec["key_id"] == key_id and rec["kind"] == "user"
+            and s not in self._revoked_serials
+            and float(rec["valid_before"]) > now  # type: ignore[arg-type]
+        )
+        if not hit:
+            return 0
+        self._jpublish("ca.revoke", serials=hit, key_id=key_id)
+        self._revoked_serials.update(hit)
+        if self.session_registry is not None:
+            for s in hit:
+                self.session_registry.close("ssh-cert", str(s),
+                                            reason="revoked")
+        self.log_event("authz-pipeline", "ca.revoke", key_id, Outcome.INFO,
+                       count=len(hit))
+        return len(hit)
+
+    def is_serial_revoked(self, serial: int) -> bool:
+        return int(serial) in self._revoked_serials
+
+    # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
     def cert_registered(self, serial: int, key_id: str) -> bool:
-        """Is (serial, key_id) in the durable issuance registry?  sshds
-        consult this when durability is on: certificates a fenced
-        ex-primary signed after its deposition were never registered."""
+        """Is (serial, key_id) in the durable issuance registry — and not
+        revoked?  sshds consult this when durability is on: certificates
+        a fenced ex-primary signed after its deposition were never
+        registered, and revoked serials are refused the same way."""
+        if int(serial) in self._revoked_serials:
+            return False
         rec = self._issued_certs.get(int(serial))
         return rec is not None and rec["key_id"] == key_id
 
@@ -185,18 +234,23 @@ class SshCertificateAuthority(Service, Durable):
             "certificates_issued": self.certificates_issued,
             "issued_certs": {str(s): dict(rec)
                              for s, rec in self._issued_certs.items()},
+            "revoked_serials": sorted(self._revoked_serials),
         }
 
     def wipe_state(self) -> None:
         self._serial = 0
         self.certificates_issued = 0
         self._issued_certs = {}
+        self._revoked_serials = set()
 
     def load_state(self, state: Dict[str, object]) -> None:
         self._serial = int(state["serial"])
         self.certificates_issued = int(state["certificates_issued"])
         self._issued_certs = {
             int(s): dict(rec) for s, rec in state["issued_certs"].items()}
+        # .get: snapshots written before revocation existed lack the key
+        self._revoked_serials = {
+            int(s) for s in state.get("revoked_serials", [])}
 
     def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
         if kind == "ca.sign":
@@ -208,6 +262,8 @@ class SshCertificateAuthority(Service, Durable):
             }
             if data["kind"] == "user":
                 self.certificates_issued += 1
+        elif kind == "ca.revoke":
+            self._revoked_serials.update(int(s) for s in data["serials"])
 
     def verify_recovery(self, report: RecoveryReport) -> None:
         """Serial monotonicity: the recovered counter must sit at or past

@@ -93,6 +93,10 @@ class LoginNodeSshd(Service):
         # check run fresh on every connection, so a cached entry can
         # never admit what a fresh validation would refuse.
         self.cert_cache = None
+        # continuous authorization: live sessions tracked as grants, and
+        # admissions fail closed when the PDP is unreachable too long
+        self.session_registry = None
+        self.authz_guard = None
 
     def install_host_certificate(self, wire: str) -> None:
         """Operator provisioning: the CA-signed certificate for this host."""
@@ -102,6 +106,8 @@ class LoginNodeSshd(Service):
     def open_session(self, request: HttpRequest) -> HttpResponse:
         """Validate the certificate and open a session."""
         principal = str(request.body.get("principal", ""))
+        if self.authz_guard is not None:
+            self.authz_guard.check("ssh", actor=principal)
         wire = str(request.body.get("certificate", ""))
         proof_hex = str(request.body.get("proof", ""))
         now = self.clock.now()
@@ -159,9 +165,15 @@ class LoginNodeSshd(Service):
             expires_at=min(now + self.session_ttl, cert.valid_before),
         )
         self._sessions[session.session_id] = session
+        extra_audit: Dict[str, object] = {}
+        if self.session_registry is not None:
+            grant = self.session_registry.track(
+                "ssh-session", "ssh", principal, session.session_id,
+                expires_at=session.expires_at)
+            extra_audit["spiffe_id"] = grant.spiffe_id
         self.log_event(principal, "ssh.session", session.session_id,
             Outcome.CACHED if cached_hit else Outcome.SUCCESS,
-            key_id=cert.key_id, serial=cert.serial,
+            key_id=cert.key_id, serial=cert.serial, **extra_audit,
         )
         body: Dict[str, object] = {
             "session_id": session.session_id,
@@ -192,6 +204,9 @@ class LoginNodeSshd(Service):
         for s in self._sessions.values():
             if s.principal == principal and s.active(now):
                 s.closed = True
+                if self.session_registry is not None:
+                    self.session_registry.close(
+                        "ssh-session", s.session_id, reason="closed")
                 n += 1
         if n:
             self.log_event("killswitch", "ssh.sessions_closed", principal,

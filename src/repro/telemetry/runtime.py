@@ -136,6 +136,21 @@ class Telemetry:
         self.gray_detours = r.counter(
             "repro_region_gray_detours_total",
             "Requests routed away from a gray (slow-but-alive) home region")
+        # continuous-authorization layer
+        self.authz_revocations = r.counter(
+            "repro_authz_revocations_total",
+            "Revocation intents journaled by the pipeline, by reason")
+        self.authz_ttr = r.histogram(
+            "repro_authz_ttr_seconds",
+            "Time-to-revoke: intent creation to last surface confirming")
+        self.authz_fail_closed = r.counter(
+            "repro_authz_fail_closed_total",
+            "Admissions denied fail-closed with the PDP unreachable past "
+            "the staleness bound, by surface")
+        self.tracewatch_skips = r.counter(
+            "repro_tracewatch_skipped_spans_total",
+            "Spans the trace watcher could not check against current "
+            "topology (previously dropped silently)")
 
         self._slos: Dict[str, SloMonitor] = {}
         self._slos_by_service: Dict[str, List[SloMonitor]] = {}

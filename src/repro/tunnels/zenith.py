@@ -147,6 +147,11 @@ class ZenithServer(Service):
         # zenith session cookie -> {token, expires_at, sub}
         self._web_sessions: Dict[str, Dict[str, object]] = {}
         self.requests_routed = 0
+        # continuous authorization: tunnels and web sessions tracked as
+        # grants; routing fails closed when the PDP is unreachable past
+        # the staleness bound
+        self.session_registry = None
+        self.authz_guard = None
 
     def configure_rp(self, client_cfg: ClientConfig) -> None:
         """Wire the broker relying-party registration (deployment step)."""
@@ -171,6 +176,8 @@ class ZenithServer(Service):
         client = self.network.endpoint(request.source).service
         if not isinstance(client, ZenithClient):
             raise AuthenticationError("only zenith clients may register tunnels")
+        if self.authz_guard is not None:
+            self.authz_guard.check("tunnels", actor=str(claims["sub"]))
         existing = self.tunnels.get(service)
         if existing is not None and existing.killed:
             raise KillSwitchActive(f"tunnel {service!r} is killed")
@@ -180,6 +187,11 @@ class ZenithServer(Service):
             registered_by=str(claims["sub"]),
             expires_at=self.clock.now() + self.heartbeat_ttl,
         )
+        if self.session_registry is not None:
+            # heartbeats refresh the same grant (track updates in place)
+            self.session_registry.track(
+                "tunnel", "tunnels", str(claims["sub"]), service,
+                expires_at=self.tunnels[service].expires_at, workload=True)
         # scale mode: a heartbeat re-registration whose token signature
         # was served from the replica cache is stamped CACHED (with the
         # jti) so the SOC's staleness oracle can cross-check it against
@@ -197,9 +209,40 @@ class ZenithServer(Service):
         record = self.tunnels.get(service)
         if record is not None:
             record.killed = True
+            if self.session_registry is not None:
+                self.session_registry.close("tunnel", service,
+                                            reason="killed")
             self.log_event("killswitch", "zenith.kill", service,
                 Outcome.INFO,
             )
+
+    def kill_tunnels_registered_by(self, subject: str) -> int:
+        """Kill every tunnel ``subject`` itself registered (workload
+        revocation).  A *user* revocation never lands here for tunnels a
+        service account registered, so tearing down one researcher does
+        not sever the shared Jupyter tunnel."""
+        n = 0
+        for service, record in sorted(self.tunnels.items()):
+            if record.registered_by == subject and not record.killed:
+                self.kill_tunnel(service)
+                n += 1
+        return n
+
+    def revoke_web_sessions_for(self, subject: str) -> int:
+        """Drop every authenticated web session of ``subject`` — their
+        browser is back to the login redirect on the next request."""
+        hit = sorted(sid for sid, s in self._web_sessions.items()
+                     if s.get("sub") == subject)
+        for sid in hit:
+            del self._web_sessions[sid]
+            if self.session_registry is not None:
+                self.session_registry.close("web-session", sid,
+                                            reason="revoked")
+        if hit:
+            self.log_event("authz-pipeline", "zenith.sessions_revoked",
+                subject, Outcome.INFO, count=len(hit),
+            )
+        return len(hit)
 
     def kill_all_tunnels(self) -> None:
         for service in list(self.tunnels):
@@ -232,6 +275,8 @@ class ZenithServer(Service):
             )
 
         session = self._session_from(request)
+        if session is not None and self.authz_guard is not None:
+            self.authz_guard.check("tunnels", actor=str(session["sub"]))
         if session is None:
             if self._rp is None:
                 raise ServiceUnavailable("zenith auth shim not configured")
@@ -301,6 +346,10 @@ class ZenithServer(Service):
             "expires_at": mint.body["expires_at"],
             "sub": tokens["id_claims"]["sub"],
         }
+        if self.session_registry is not None:
+            self.session_registry.track(
+                "web-session", "tunnels", str(tokens["id_claims"]["sub"]),
+                sid, expires_at=float(mint.body["expires_at"]))
         resp = HttpResponse.redirect(
             make_url(self.name, "/app", service=service, path=pending["path"])
         )
