@@ -37,11 +37,19 @@ __all__ = ["PolicyDecisionPoint", "AuthzGuard", "ContinuousAuthorizer"]
 
 
 class PolicyDecisionPoint:
-    """The PDP: one place every continuous-authorization query lands."""
+    """The PDP: one place every continuous-authorization query lands.
 
-    def __init__(self, clock: SimClock, engine: PolicyEngine) -> None:
+    When a provenance ledger is attached (deployment wiring), every
+    evaluation — allow or deny — is recorded with the matched rule, the
+    policy pack version and the decision inputs (assurance, threat
+    score), so ``explain(identity)`` can answer *why* afterwards.
+    """
+
+    def __init__(self, clock: SimClock, engine: PolicyEngine, *,
+                 provenance=None) -> None:
         self.clock = clock
         self.engine = engine
+        self.provenance = provenance
         self.up = True
         self.decisions = 0
 
@@ -49,7 +57,22 @@ class PolicyDecisionPoint:
         if not self.up:
             raise ServiceUnavailable("policy decision point unreachable")
         self.decisions += 1
-        return self.engine.evaluate(ctx)
+        decision = self.engine.evaluate(ctx)
+        if self.provenance is not None:
+            self.provenance.record(
+                self.clock.now(),
+                str(ctx.attrs.get("surface", "pdp")),
+                "allow" if decision.allowed else "deny",
+                ctx.subject,
+                spiffe_id=str(ctx.attrs.get("spiffe_id", "")),
+                resource=ctx.resource,
+                rule=decision.rule or "default-deny",
+                reason=decision.reason,
+                pack_version=self.engine.pack_version,
+                loa=ctx.loa,
+                threat_score=ctx.risk_score,
+            )
+        return decision
 
     def down(self) -> None:
         self.up = False
@@ -99,6 +122,16 @@ class AuthzGuard:
             return
         if now - self.last_ok <= self.staleness_bound:
             self.stale_allows += 1
+            # a stale allow leaves no audit event (the admission itself
+            # is audited by the surface), but the provenance ledger must
+            # still show the PDP heartbeat age this admission rode on
+            prov = getattr(self.telemetry, "provenance", None)
+            if prov is not None:
+                prov.record(
+                    now, surface, "allow", actor or "?",
+                    reason="stale-allow-within-bound",
+                    pdp_staleness=now - self.last_ok,
+                )
             return
         self.fail_closed_denials += 1
         if self.telemetry is not None:

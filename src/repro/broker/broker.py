@@ -295,7 +295,7 @@ class IdentityBroker(OidcProvider):
             age = self.clock.now() - auth_time
             if age > self.admin_max_auth_age:
                 self._audit(sub, "rbac.stepup_required", audience, Outcome.DENIED,
-                            auth_age=age)
+                            auth_age=age, reason="admin step-up required")
                 raise AuthorizationError(
                     f"administrative token requires re-authentication: last "
                     f"authentication was {age:.0f}s ago "
@@ -320,7 +320,8 @@ class IdentityBroker(OidcProvider):
                     break
             if match is None:
                 self._audit(sub, "rbac.denied", audience, Outcome.DENIED,
-                            role=role_req, project=project or "")
+                            role=role_req, project=project or "",
+                            reason=f"role {role_req!r} not held")
                 raise AuthorizationError(
                     f"{sub} does not hold role {role_req!r}"
                     + (f" on project {project}" if project else "")

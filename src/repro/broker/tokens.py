@@ -183,7 +183,7 @@ class TokenService:
     # ------------------------------------------------------------------
     # revocation
     # ------------------------------------------------------------------
-    def revoke_jti(self, jti: str) -> bool:
+    def revoke_jti(self, jti: str, *, trace_id: str = "") -> bool:
         if jti not in self._issued:
             return False
         if self.publish is not None:
@@ -193,9 +193,13 @@ class TokenService:
             self.bus.publish("token.revoked", key=jti)
         if self.session_registry is not None:
             self.session_registry.close("rbac-token", jti, reason="revoked")
+        # trace_id correlates the revocation with the containment action
+        # that ordered it — the telemetry pipeline pins that trace
+        # against tail-sampling eviction for post-mortem replay
+        extra = {"trace_id": trace_id} if trace_id else {}
         self.audit.record(
             self.clock.now(), "token-service", "system", "rbac.revoke", jti,
-            Outcome.INFO, jti=jti,
+            Outcome.INFO, jti=jti, **extra,
         )
         return True
 

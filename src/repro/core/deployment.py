@@ -103,9 +103,10 @@ from repro.siem import (
     LogForwarder,
     SecurityOperationsCentre,
     TraceIntegrityRule,
+    UnexplainedDecisionRule,
 )
 from repro.sshca import BastionSet, LoginNodeSshd, SshCertificateAuthority
-from repro.telemetry import Telemetry
+from repro.telemetry import PipelineConfig, Telemetry
 from repro.tunnels import CloudflareEdge, TailnetCoordinator, ZenithClient, ZenithServer
 
 __all__ = ["IsambardDeployment", "build_isambard", "DEFAULT_IDPS"]
@@ -184,6 +185,8 @@ class IsambardDeployment:
     failover: Optional[FailoverController] = None
     # tracing + metrics + SLO runtime; None when built telemetry=False
     telemetry: Optional[Telemetry] = None
+    # bounded-retention telemetry pipeline; None when pipeline off
+    pipeline_config: Optional[PipelineConfig] = None
     # component name -> (crash_fn, restart_fn); populated by the builder
     crash_targets: Dict[str, tuple] = field(default_factory=dict)
     # validator factory honouring failover re-pointing (set by the builder)
@@ -333,6 +336,7 @@ def build_isambard(
     regions: Union[bool, RegionConfig] = False,
     tail: Union[bool, TailConfig] = False,
     authz: Union[bool, AuthzConfig] = False,
+    pipeline: Union[bool, PipelineConfig] = False,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
 
@@ -429,6 +433,21 @@ def build_isambard(
     bounds.  With ``durability`` also on, the pipeline's outbox is
     journaled and ``dri.crash("authz")`` / ``dri.restart("authz")``
     model a crash mid-revocation that resumes on recovery.
+
+    ``pipeline`` turns on the bounded telemetry pipeline (PR 9): the
+    span store becomes a :class:`~repro.telemetry.BoundedSpanStore`
+    with tail-based retention (error/shed/expired and pinned
+    revocation traces kept at 100%, slowest-k per window, hash-sampled
+    healthy traffic, RED rollups of the rest), every pre-registered
+    metric family gets a cardinality budget that folds runaway label
+    sets into ``__overflow__``, and the provenance ledger
+    (``dri.telemetry.provenance`` — one :class:`~repro.telemetry.
+    DecisionRecord` per admission decision on every enforcement
+    surface, queryable via ``explain``/``explain_trace``) compacts to
+    its own budget without ever losing the record behind a live grant
+    or a refusal.  The SOC serves the ledger and pipeline stats at
+    ``/scoreboard`` and ``/explain``.  Pass a
+    :class:`~repro.telemetry.PipelineConfig` to size the budgets.
     """
     region_cfg: Optional[RegionConfig] = None
     if regions:
@@ -454,7 +473,12 @@ def build_isambard(
     authz_rt: Optional[AuthzRuntime] = None
     clock = SimClock(start=0.0)
     ids = IdFactory(seed=seed)
-    tele: Optional[Telemetry] = Telemetry(clock) if telemetry else None
+    pipeline_cfg: Optional[PipelineConfig] = None
+    if pipeline:
+        pipeline_cfg = (pipeline if isinstance(pipeline, PipelineConfig)
+                        else PipelineConfig())
+    tele: Optional[Telemetry] = (
+        Telemetry(clock, pipeline=pipeline_cfg) if telemetry else None)
     logs = {
         domain: AuditLog(domain)
         for domain in ("external", "fds", "sws", "mdc", "sec", "network")
@@ -879,6 +903,16 @@ def build_isambard(
         # an audit record whose trace id the span store never saw is a
         # forged/replayed log entry — runs inside the standard rule pack
         soc.rules.append(TraceIntegrityRule(tele.store))
+        # decision provenance: the SOC reads the ledger for the
+        # scoreboard/explain views and cross-checks every shipped
+        # decision against it (a decision without provenance is the
+        # ledger-side sibling of an unknown trace id)
+        soc.attach_provenance(tele.provenance, tele.store)
+        soc.rules.append(UnexplainedDecisionRule(tele.provenance))
+        # decisions recorded before the authz layer attaches its richer
+        # enricher still carry the policy pack version they ran under
+        tele.provenance.enricher = (
+            lambda subject: {"pack_version": policy_engine.pack_version})
         # availability SLOs over the hops the RSECon story stresses
         tele.slo("broker-availability", service="broker")
         tele.slo("jupyter-availability", service="jupyter")
@@ -1108,7 +1142,10 @@ def build_isambard(
     if authz_cfg is not None:
         graph = IdentityGraph(authz_cfg.trust_domain, authority=spire)
         session_registry = SessionRegistry(clock, graph=graph)
-        pdp = PolicyDecisionPoint(clock, policy_engine)
+        pdp = PolicyDecisionPoint(
+            clock, policy_engine,
+            provenance=tele.provenance if tele is not None else None,
+        )
         guard = AuthzGuard(
             clock, pdp, staleness_bound=authz_cfg.staleness_bound,
             audit=logs["fds"], telemetry=tele,
@@ -1121,6 +1158,22 @@ def build_isambard(
             clock, registry=session_registry, pipeline=pipeline, pdp=pdp,
             guard=guard, audit=logs["sec"], config=authz_cfg,
         )
+
+        if tele is not None:
+            # provenance enricher: fields the audit bridge cannot see at
+            # the emitting surface — assurance tier, SOC threat score,
+            # PDP heartbeat age, policy pack version — resolved at
+            # record time from the continuous-authorization state
+            def _enrich_decision(subject: str) -> Dict[str, object]:
+                return {
+                    "pack_version": policy_engine.pack_version,
+                    "loa": authorizer._loa.get(subject,
+                                               authz_cfg.min_loa),
+                    "threat_score": authorizer._risk.get(subject, 0.0),
+                    "pdp_staleness": round(guard.age(), 6),
+                }
+
+            tele.provenance.enricher = _enrich_decision
 
         def _authz_accounts(uid: str) -> List[str]:
             accounts = graph.accounts_of(uid)
@@ -1348,6 +1401,7 @@ def build_isambard(
         faults=faults, resilience=runtime, overload=overload_cfg,
         durability=store, crash_targets=crash_targets,
         validator_factory=validator_for, telemetry=tele,
+        pipeline_config=pipeline_cfg,
         scale=scale_cfg, broker_pool=broker_pool, broker_lb=broker_lb,
         invalidation_bus=bus, autoscaler=autoscaler,
         region_config=region_cfg, region_directory=region_dir,

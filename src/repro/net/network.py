@@ -233,6 +233,13 @@ class Network:
                 )
                 if span is not None:
                     tele.tracer.end(span, error=exc)
+                    if isinstance(exc, AttemptTimeout):
+                        # hand the abandoned attempt's span to the hedge
+                        # machinery: if this timeout fires a hedge, the
+                        # winner's layer marks this span cancelled so
+                        # trace analysis can tell a cancelled loser from
+                        # a genuinely expired attempt
+                        exc.span = span
             raise
         else:
             if tele is not None:

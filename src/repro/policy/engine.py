@@ -15,6 +15,7 @@ uses it to reason about what an attacker's stolen context can reach.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -87,6 +88,18 @@ class PolicyEngine:
 
     def rules(self) -> List[PolicyRule]:
         return list(self._rules)
+
+    @property
+    def pack_version(self) -> str:
+        """Deterministic version of the loaded rule pack: rule count
+        plus a digest over the ordered (name, effect) pairs.  Stamped
+        into every provenance record so a post-mortem can tell which
+        pack a decision was made under — the same decision under a
+        different pack is a different decision."""
+        digest = hashlib.sha256("|".join(
+            f"{r.name}:{r.effect}" for r in self._rules
+        ).encode("utf-8")).hexdigest()[:8]
+        return f"pack-{len(self._rules)}-{digest}"
 
     # ------------------------------------------------------------------
     def evaluate(self, ctx: AccessContext) -> PolicyDecision:

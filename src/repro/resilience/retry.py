@@ -244,6 +244,10 @@ def call_with_resilience(
                     tail.hedge_budget.consume()
                     if metrics is not None:
                         metrics.hedges += 1
+                    loser = getattr(exc, "span", None)
+                    if loser is not None:
+                        loser.attrs["cancelled"] = True
+                        loser.attrs["hedge"] = "loser"
                     continue
                 shed = isinstance(exc, RateLimited)
                 retry_after = exc.retry_after if shed else None

@@ -469,6 +469,10 @@ class LoadBalancer(Service):
                     hedged = True
                     hedge_is_next = True
                     self._record_hedge(request, replica, attempt_started)
+                    loser = getattr(exc, "span", None)
+                    if loser is not None:
+                        loser.attrs["cancelled"] = True
+                        loser.attrs["hedge"] = "loser"
                 else:
                     self.attempt_timeouts += 1
                     if self.telemetry is not None:

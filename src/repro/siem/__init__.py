@@ -9,6 +9,7 @@ from repro.siem.detections import (
     RegionLagRule,
     RetryStormRule,
     ThresholdRule,
+    UnexplainedDecisionRule,
     standard_rules,
 )
 from repro.siem.forwarder import LogForwarder, event_to_record
@@ -20,6 +21,7 @@ from repro.siem.timeline import (
     TimelineEntry,
     build_timeline,
     build_trace_timeline,
+    join_provenance,
 )
 from repro.siem.tracewatch import TraceAnomalyScanner, TraceIntegrityRule
 
@@ -33,6 +35,7 @@ __all__ = [
     "CacheStalenessRule",
     "RegionLagRule",
     "RetryStormRule",
+    "UnexplainedDecisionRule",
     "standard_rules",
     "AssetInventory",
     "Asset",
@@ -48,4 +51,5 @@ __all__ = [
     "TraceIntegrityRule",
     "build_timeline",
     "build_trace_timeline",
+    "join_provenance",
 ]

@@ -20,6 +20,7 @@ __all__ = [
     "CacheStalenessRule",
     "RegionLagRule",
     "RetryStormRule",
+    "UnexplainedDecisionRule",
     "standard_rules",
 ]
 
@@ -296,6 +297,65 @@ class RetryStormRule(DetectionRule):
             actor="",   # dependency saturation: no principal to contain
             summary=self.summary.format(dst=dst, count=len(hits)),
             evidence_count=len(hits),
+        )
+
+
+class UnexplainedDecisionRule(DetectionRule):
+    """A decision-bearing record the provenance ledger cannot explain.
+
+    Every admission decision on the four enforcement surfaces must have
+    a matching :class:`~repro.telemetry.provenance.DecisionRecord` — the
+    audit bridge writes the ledger synchronously at emit time, strictly
+    before the forwarders ship the record here.  A shipped decision
+    whose actor *and* trace are both unknown to the ledger is therefore
+    a forged or replayed log entry (the provenance-side sibling of the
+    span-side ``TraceIntegrityRule``).  Severity is medium, not high:
+    an integrity signal for an analyst, never an auto-containment
+    trigger — the actor named in a forged record is the forgery's
+    victim, not its author.  One alert per (actor, action).
+    """
+
+    name = "unexplained-decision"
+    severity = "medium"
+    DECISION_ACTIONS = frozenset({
+        "rbac.mint", "rbac.denied", "ssh.session", "zenith.register",
+        "jupyter.auth", "job.submit", "authz.fail_closed",
+    })
+    DECISION_OUTCOMES = frozenset({"success", "denied", "cached", "shed"})
+
+    def __init__(self, ledger) -> None:
+        self.ledger = ledger
+        self.checked = 0
+        self.unexplained = 0
+        self._alerted: set = set()
+
+    def observe(self, record: Dict[str, object]) -> Optional[Alert]:
+        action = str(record.get("action", ""))
+        if action not in self.DECISION_ACTIONS:
+            return None
+        if record.get("outcome") not in self.DECISION_OUTCOMES:
+            return None
+        self.checked += 1
+        actor = str(record.get("actor", "") or "")
+        attrs = record.get("attrs", {}) or {}
+        trace_id = str(attrs.get("trace_id", "") or "")
+        if actor and self.ledger.explain(actor):
+            return None
+        if trace_id and self.ledger.explain_trace(trace_id):
+            return None
+        self.unexplained += 1
+        key = (actor, action)
+        if key in self._alerted:
+            return None
+        self._alerted.add(key)
+        return Alert(
+            time=float(record.get("time", 0.0)),
+            rule=self.name,
+            severity=self.severity,
+            actor=actor,
+            summary=(f"decision {action}/{record.get('outcome')} for "
+                     f"{actor or '?'} has no provenance record"),
+            evidence_count=1,
         )
 
 

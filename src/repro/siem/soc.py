@@ -80,6 +80,17 @@ class SecurityOperationsCentre(Service):
         self._records: List[Dict[str, object]] = []
         self.alerts: List[Alert] = []
         self.contained: List[str] = []
+        # decision provenance (attached by the deployment when telemetry
+        # is on): feeds the scoreboard and the post-mortem explain views
+        self.provenance = None
+        self.span_pipeline = None
+
+    def attach_provenance(self, ledger, span_store=None) -> None:
+        """Give the SOC the provenance ledger (and, when the bounded
+        pipeline is on, the span store) its scoreboard reads."""
+        self.provenance = ledger
+        if span_store is not None and hasattr(span_store, "stats"):
+            self.span_pipeline = span_store
 
     # ------------------------------------------------------------------
     # ingest (called by forwarders, over the network or directly)
@@ -204,6 +215,68 @@ class SecurityOperationsCentre(Service):
                 "config_score": self.assessment.score(),
             }
         )
+
+    # ------------------------------------------------------------------
+    # decision scoreboard (provenance + pipeline health in one view)
+    # ------------------------------------------------------------------
+    def scoreboard(self) -> Dict[str, object]:
+        """Decisions by surface × outcome, fail-closed count, alert
+        totals, and — when the bounded pipeline is on — span retention
+        health.  The at-a-glance answer to "is enforcement healthy and
+        is observation keeping up?"."""
+        board: Dict[str, object] = {
+            "alerts": len(self.alerts),
+            "contained": list(self.contained),
+            "records_ingested": self.records_ingested,
+        }
+        if self.provenance is not None:
+            board["provenance"] = self.provenance.stats()
+        if self.span_pipeline is not None:
+            board["spans"] = self.span_pipeline.stats()
+        return board
+
+    @route("GET", "/scoreboard")
+    def scoreboard_view(self, request: HttpRequest) -> HttpResponse:
+        token = request.bearer_token()
+        if token is None:
+            raise AuthenticationError(
+                "viewing the scoreboard requires an RBAC token")
+        claims = self.validator.validate(token)
+        require_capability(claims, "soc.view")
+        return HttpResponse.json(self.scoreboard())
+
+    @route("GET", "/explain")
+    def explain_view(self, request: HttpRequest) -> HttpResponse:
+        """Post-mortem query: every decision about one identity (query
+        ``identity=``) or one traced request (query ``trace_id=``)."""
+        token = request.bearer_token()
+        if token is None:
+            raise AuthenticationError(
+                "explain queries require an RBAC token")
+        claims = self.validator.validate(token)
+        require_capability(claims, "soc.view")
+        if self.provenance is None:
+            return HttpResponse.error(503, "no provenance ledger attached")
+        identity = str(request.query.get("identity", ""))
+        trace_id = str(request.query.get("trace_id", ""))
+        if identity:
+            records = self.provenance.explain(identity)
+        elif trace_id:
+            records = self.provenance.explain_trace(trace_id)
+        else:
+            return HttpResponse.error(400, "identity or trace_id required")
+        return HttpResponse.json({
+            "decisions": [
+                {
+                    "time": r.time, "surface": r.surface,
+                    "decision": r.decision, "subject": r.subject,
+                    "rule": r.rule, "reason": r.reason,
+                    "pack_version": r.pack_version, "cached": r.cached,
+                    "pdp_staleness": r.pdp_staleness,
+                }
+                for r in records
+            ],
+        })
 
     # ------------------------------------------------------------------
     def records(self) -> List[Dict[str, object]]:

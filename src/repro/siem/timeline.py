@@ -11,13 +11,13 @@ account in SSH/bastion events, the jti links a mint to later denials.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Set
 
 from repro.audit import AuditEvent
 
 __all__ = ["TimelineEntry", "IncidentTimeline", "build_timeline",
-           "build_trace_timeline"]
+           "build_trace_timeline", "join_provenance"]
 
 
 @dataclass(frozen=True)
@@ -28,6 +28,8 @@ class TimelineEntry:
     action: str
     outcome: str
     detail: str
+    trace_id: str = ""   # request the event was emitted under, if any
+    rule: str = ""       # matched policy rule (joined from provenance)
 
 
 @dataclass
@@ -79,10 +81,13 @@ class IncidentTimeline:
             mark = {"denied": "!", "error": "E", "success": " ",
                     "info": " ", "shed": "~", "expired": "x",
                     "cached": "c"}.get(e.outcome, "?")
-            lines.append(
+            line = (
                 f"  t={e.time:10.3f} [{mark}] {e.domain or '-':<8} "
                 f"{e.source:<14} {e.action:<26} {e.detail}"
             )
+            if e.rule:
+                line += f" <rule: {e.rule}>"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -140,6 +145,7 @@ def build_timeline(dri, subject: str, *, max_passes: int = 3) -> IncidentTimelin
             detail=(f"{e.actor} -> {e.resource}"
                     + (f" ({e.attrs.get('reason')})"
                        if e.attrs.get("reason") else "")),
+            trace_id=str(e.attrs.get("trace_id", "")),
         )
         for e in sorted(matched, key=lambda e: (e.time, e.source))
     ]
@@ -173,9 +179,35 @@ def build_trace_timeline(dri, trace_id: str) -> IncidentTimeline:
             detail=(f"{e.actor} -> {e.resource}"
                     + (f" ({e.attrs.get('reason')})"
                        if e.attrs.get("reason") else "")),
+            trace_id=trace_id,
         )
         for e in sorted(matched, key=lambda e: (e.time, e.source))
     ]
     return IncidentTimeline(subject=trace_id,
                             correlated_ids={trace_id} | actors,
                             entries=entries)
+
+
+def join_provenance(timeline: IncidentTimeline, ledger) -> int:
+    """Annotate timeline entries with the policy rule that produced
+    their decision, joined from the provenance ledger by trace id (and
+    decision time, to pick the right record when one trace carries
+    several decisions).  Returns the number of entries annotated —
+    the analyst's check that the audit trail and the ledger agree."""
+    annotated = 0
+    entries: List[TimelineEntry] = []
+    for entry in timeline.entries:
+        rule = ""
+        if entry.trace_id and not entry.rule:
+            records = ledger.explain_trace(entry.trace_id)
+            same_time = [r for r in records if r.time == entry.time]
+            for rec in same_time or records:
+                if rec.rule or rec.reason:
+                    rule = rec.rule or rec.reason
+                    break
+        if rule:
+            entry = replace(entry, rule=rule)
+            annotated += 1
+        entries.append(entry)
+    timeline.entries = entries
+    return annotated

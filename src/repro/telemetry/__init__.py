@@ -12,6 +12,12 @@ This package supplies the in-system half of that visibility:
   series, exemplars, and Prometheus-style exposition;
 * :mod:`repro.telemetry.slo` — multi-window burn-rate SLO monitors;
 * :mod:`repro.telemetry.analysis` — span trees, critical paths;
+* :mod:`repro.telemetry.provenance` — the decision provenance ledger:
+  why every admission decision went the way it did, queryable by
+  identity and by trace;
+* :mod:`repro.telemetry.pipeline` — bounded retention at production
+  scale: tail-based trace sampling, RED rollups of evicted spans, and
+  per-family metric cardinality budgets;
 * :mod:`repro.telemetry.runtime` — the per-deployment facade wiring the
   above into the network, resilience, durability and SIEM layers.
 """
@@ -38,21 +44,38 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.pipeline import (
+    BoundedSpanStore,
+    PipelineConfig,
+    RedAggregate,
+    trace_sampled,
+)
+from repro.telemetry.provenance import (
+    Decision,
+    DecisionRecord,
+    ProvenanceLedger,
+)
 from repro.telemetry.runtime import ERROR_OUTCOMES, Telemetry
 from repro.telemetry.slo import BurnRateAlert, SloMonitor, burn_rate
 from repro.telemetry.tracing import Span, SpanStatus, SpanStore, Tracer
 
 __all__ = [
     "BAGGAGE_HEADER",
+    "BoundedSpanStore",
     "BurnRateAlert",
     "Counter",
     "DEFAULT_BUCKETS",
+    "Decision",
+    "DecisionRecord",
     "ERROR_OUTCOMES",
     "Exemplar",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PathStep",
+    "PipelineConfig",
+    "ProvenanceLedger",
+    "RedAggregate",
     "Span",
     "SpanStatus",
     "SpanStore",
@@ -68,4 +91,5 @@ __all__ = [
     "critical_path_breakdown",
     "render_tree",
     "trace_id_from_headers",
+    "trace_sampled",
 ]

@@ -16,12 +16,19 @@ read by anyone who has scraped ``/metrics``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "Exemplar", "DEFAULT_BUCKETS"]
+           "Exemplar", "DEFAULT_BUCKETS", "OVERFLOW_LABEL",
+           "DROPPED_LABELS_METRIC"]
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+# label value that absorbs new series past a family's cardinality budget
+OVERFLOW_LABEL = "__overflow__"
+# registry-level counter of label sets folded into the overflow series
+DROPPED_LABELS_METRIC = "repro_metrics_dropped_labels_total"
 
 # Seconds-scale buckets sized for the simulated control plane: hops cost
 # ~5-40 ms, a full federated login O(0.1-10 s) under load.
@@ -34,11 +41,19 @@ def _label_key(labels: Mapping[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """OpenMetrics label-value escaping: backslash, double-quote and
+    newline must be escaped or the exposition stops being parseable."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
     pairs = list(key) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -65,9 +80,27 @@ class Exemplar:
 class Metric:
     kind = "untyped"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 max_series: Optional[int] = None) -> None:
         self.name = name
         self.help = help
+        # cardinality budget: past this many series, new label sets fold
+        # into one OVERFLOW_LABEL series instead of growing the family
+        # unboundedly (None = unbudgeted, the PR-4 behaviour)
+        self.max_series = max_series
+        self.dropped_labels = 0
+        self.on_overflow: Optional[Callable[[str], None]] = None
+
+    def _bound_key(self, key: LabelKey, series: Mapping[LabelKey, object]) -> LabelKey:
+        """Fold a *new* label set into the overflow series when the
+        family is at budget; existing series keep exact labels."""
+        if (self.max_series is None or not key
+                or key in series or len(series) < self.max_series):
+            return key
+        self.dropped_labels += 1
+        if self.on_overflow is not None:
+            self.on_overflow(self.name)
+        return tuple((k, OVERFLOW_LABEL) for k, _ in key)
 
     def expose(self) -> List[str]:  # pragma: no cover - interface
         raise NotImplementedError
@@ -78,14 +111,15 @@ class Counter(Metric):
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
-        super().__init__(name, help)
+    def __init__(self, name: str, help: str = "",
+                 max_series: Optional[int] = None) -> None:
+        super().__init__(name, help, max_series)
         self._series: Dict[LabelKey, float] = {}
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        key = _label_key(labels)
+        key = self._bound_key(_label_key(labels), self._series)
         self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
@@ -111,15 +145,17 @@ class Gauge(Metric):
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
-        super().__init__(name, help)
+    def __init__(self, name: str, help: str = "",
+                 max_series: Optional[int] = None) -> None:
+        super().__init__(name, help, max_series)
         self._series: Dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: str) -> None:
-        self._series[_label_key(labels)] = float(value)
+        key = self._bound_key(_label_key(labels), self._series)
+        self._series[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
-        key = _label_key(labels)
+        key = self._bound_key(_label_key(labels), self._series)
         self._series[key] = self._series.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: str) -> None:
@@ -154,8 +190,9 @@ class Histogram(Metric):
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
-                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
-        super().__init__(name, help)
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 max_series: Optional[int] = None) -> None:
+        super().__init__(name, help, max_series)
         self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
         if not self.buckets:
             raise ValueError("histogram needs at least one bucket bound")
@@ -178,7 +215,7 @@ class Histogram(Metric):
 
     def observe(self, value: float, *, trace_id: Optional[str] = None,
                 time: float = 0.0, **labels: str) -> None:
-        series = self._get(_label_key(labels))
+        series = self._get(self._bound_key(_label_key(labels), self._series))
         idx = self.bucket_index(value)
         series.buckets[idx] += 1
         series.count += 1
@@ -279,18 +316,49 @@ class MetricsRegistry:
                     f"metric {metric.name!r} already registered "
                     f"as {existing.kind}")
             return existing
+        metric.on_overflow = self._note_overflow
         self._metrics[metric.name] = metric
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._register(Counter(name, help))  # type: ignore[return-value]
+    def _note_overflow(self, family: str) -> None:
+        """Count a label set folded into a family's overflow series.
+        The counter is created lazily so registries that never overflow
+        expose exactly what they did before budgets existed."""
+        counter = self._metrics.get(DROPPED_LABELS_METRIC)
+        if counter is None:
+            counter = self.counter(
+                DROPPED_LABELS_METRIC,
+                "Label sets folded into __overflow__ by per-family "
+                "cardinality budgets")
+        counter.inc(family=family)  # type: ignore[union-attr]
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._register(Gauge(name, help))  # type: ignore[return-value]
+    def set_series_budget(self, max_series: Optional[int],
+                          names: Optional[Iterable[str]] = None) -> None:
+        """Apply a cardinality budget to families (default: all).  The
+        dropped-labels counter itself stays unbudgeted — the meter must
+        not saturate the thing it meters."""
+        targets = list(names) if names is not None else list(self._metrics)
+        for name in targets:
+            metric = self._metrics.get(name)
+            if metric is not None and name != DROPPED_LABELS_METRIC:
+                metric.max_series = max_series
+
+    def counter(self, name: str, help: str = "",
+                max_series: Optional[int] = None) -> Counter:
+        return self._register(Counter(name, help, max_series))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "",
+              max_series: Optional[int] = None) -> Gauge:
+        return self._register(Gauge(name, help, max_series))  # type: ignore[return-value]
 
     def histogram(self, name: str, help: str = "",
-                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        return self._register(Histogram(name, help, buckets))  # type: ignore[return-value]
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  max_series: Optional[int] = None) -> Histogram:
+        return self._register(Histogram(name, help, buckets, max_series))  # type: ignore[return-value]
+
+    def dropped_labels(self) -> float:
+        counter = self._metrics.get(DROPPED_LABELS_METRIC)
+        return counter.total() if counter is not None else 0.0  # type: ignore[union-attr]
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)

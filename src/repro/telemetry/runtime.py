@@ -25,6 +25,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.clock import SimClock
 from repro.telemetry.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.telemetry.pipeline import BoundedSpanStore, PipelineConfig
+from repro.telemetry.provenance import Decision, ProvenanceLedger
 from repro.telemetry.slo import BurnRateAlert, SloMonitor
 from repro.telemetry.tracing import SpanStatus, SpanStore, Tracer
 
@@ -41,11 +43,22 @@ _BREAKER_STATE_VALUE = {"closed": 0.0, "half-open": 0.5, "open": 1.0}
 class Telemetry:
     """Tracer + metrics registry + SLO monitors for one deployment."""
 
-    def __init__(self, clock: SimClock) -> None:
+    def __init__(self, clock: SimClock,
+                 pipeline: Optional[PipelineConfig] = None) -> None:
         self.clock = clock
-        self.tracer = Tracer(clock)
+        self.pipeline = pipeline
+        if pipeline is not None:
+            self.tracer = Tracer(clock, BoundedSpanStore(pipeline))
+        else:
+            self.tracer = Tracer(clock)
         self.store: SpanStore = self.tracer.store
         self.registry = MetricsRegistry()
+        # every admission decision's provenance, queryable by identity
+        # and by trace (bounded alongside the span store when the
+        # pipeline is on)
+        self.provenance = ProvenanceLedger(
+            max_records=pipeline.max_decisions if pipeline is not None
+            else 8192)
         self.bridge_errors = 0  # audit-bridge exceptions swallowed
 
         r = self.registry
@@ -152,6 +165,11 @@ class Telemetry:
             "Spans the trace watcher could not check against current "
             "topology (previously dropped silently)")
 
+        if pipeline is not None:
+            # the pre-registered families get the configured cardinality
+            # budget; families registered later opt in explicitly
+            r.set_series_budget(pipeline.max_series_per_family)
+
         self._slos: Dict[str, SloMonitor] = {}
         self._slos_by_service: Dict[str, List[SloMonitor]] = {}
         self._slo_callbacks: List[Callable[[BurnRateAlert], None]] = []
@@ -232,6 +250,51 @@ class Telemetry:
         "deadline.expired": ("deadline_expired", "source"),
     }
 
+    # decision-bearing audit actions -> enforcement surface.  Every one
+    # of these becomes a DecisionRecord in the provenance ledger; the
+    # decision itself derives from the event outcome.
+    _AUDIT_DECISIONS = {
+        "rbac.mint": "tokens",
+        "rbac.denied": "tokens",
+        "rbac.stepup_required": "tokens",
+        "oidc.session": "tokens",
+        "oidc.tokens_issued": "tokens",
+        "region.introspect": "tokens",
+        "ssh.session": "ssh",
+        "ssh.cert_issued": "ssh",
+        "ssh.cert_denied": "ssh",
+        "login.success": "ssh",
+        "login.denied": "ssh",
+        "zenith.register": "tunnels",
+        "zenith.route": "tunnels",
+        "zenith.denied": "tunnels",
+        "jupyter.auth": "compute",
+        "jupyter.introspect.unavailable": "compute",
+        "job.submit": "compute",
+        "admission.shed": "admission",
+        "authz.fail_closed": "",   # surface carried in event.resource
+    }
+
+    _OUTCOME_DECISIONS = {
+        "success": Decision.ALLOW,
+        "cached": Decision.CACHED,
+        "denied": Decision.DENY,
+        "shed": Decision.SHED,
+    }
+
+    # extra event attributes worth preserving as decision inputs
+    _DECISION_ATTRS = ("jti", "audience", "role", "serial", "key_id",
+                       "project", "capability")
+
+    # actions whose traces a post-mortem will replay: revocations,
+    # containments, continuous-authz enforcement.  The pipeline pins
+    # these traces against tail-sampling eviction.
+    _PROTECT_PREFIXES = (
+        "rbac.revoke", "token.revok", "authz.", "killswitch.",
+        "oidc.session_revok", "oidc.jti_revoked", "zenith.sessions_revoked",
+        "zenith.kill", "ssh.sessions_closed",
+    )
+
     def _on_audit_event(self, event) -> None:
         try:
             entry = self._AUDIT_COUNTERS.get(event.action)
@@ -239,8 +302,53 @@ class Telemetry:
                 counter_name, label = entry
                 getattr(self, counter_name).inc(
                     **{label: getattr(event, label, "")})
+            surface = self._AUDIT_DECISIONS.get(event.action)
+            if surface is not None:
+                self._record_decision(surface, event)
+            if event.action.startswith(self._PROTECT_PREFIXES):
+                trace_id = event.attrs.get("trace_id", "")
+                if trace_id and hasattr(self.store, "protect"):
+                    self.store.protect(trace_id)
         except Exception:
             self.bridge_errors += 1
+
+    def _record_decision(self, surface: str, event) -> None:
+        """Turn one decision-bearing audit event into provenance."""
+        if event.action == "authz.fail_closed":
+            decision = Decision.FAIL_CLOSED
+            surface = event.resource or "pdp"
+        else:
+            decision = self._OUTCOME_DECISIONS.get(event.outcome)
+            if decision is None:
+                return  # info/error events are not admission decisions
+        attrs = event.attrs
+        epoch = attrs.get("epoch", -1)
+        staleness = attrs.get("age", -1.0)
+        # rule attribution: an explicit rule attr wins; otherwise, for
+        # grants, the surface-native grant basis (the RBAC role, the
+        # capability) IS the matched rule on that surface.  Denials keep
+        # their reason instead — a role that failed to match is not a
+        # matched rule.
+        rule = str(attrs.get("rule", ""))
+        if not rule and decision in Decision.GRANTS:
+            if attrs.get("role"):
+                rule = f"role:{attrs['role']}"
+            elif attrs.get("capability"):
+                rule = f"capability:{attrs['capability']}"
+        self.provenance.record(
+            event.time, surface, decision, event.actor,
+            spiffe_id=str(attrs.get("spiffe_id", "")),
+            trace_id=str(attrs.get("trace_id", "")),
+            resource=event.resource,
+            rule=rule,
+            reason=str(attrs.get("reason", "")),
+            cached=decision == Decision.CACHED,
+            region=str(attrs.get("region", "")),
+            epoch=epoch if isinstance(epoch, int) else -1,
+            pdp_staleness=float(staleness)
+            if isinstance(staleness, (int, float)) else -1.0,
+            attrs={k: attrs[k] for k in self._DECISION_ATTRS if k in attrs},
+        )
 
     # ---------------------------------------------------------------- SLO
     def slo(self, name: str, *, service: str, objective: float = 0.99,

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.clock import SimClock
-from repro.errors import DeadlineExceeded, RateLimited
+from repro.errors import AttemptTimeout, DeadlineExceeded, RateLimited
 from repro.telemetry.context import TraceContext
 
 __all__ = ["Span", "SpanStore", "Tracer", "SpanStatus"]
@@ -41,7 +41,11 @@ def classify_error(exc: BaseException) -> str:
     """Map an exception to a span status using the error taxonomy."""
     if isinstance(exc, RateLimited):
         return SpanStatus.SHED
-    if isinstance(exc, DeadlineExceeded):
+    # AttemptTimeout subclasses ServiceUnavailable (retryable), but as a
+    # span outcome it is a deadline event — an attempt abandoned at its
+    # adaptive per-attempt budget must land in the same status bucket as
+    # an end-to-end deadline expiry, not generic ERROR
+    if isinstance(exc, (DeadlineExceeded, AttemptTimeout)):
         return SpanStatus.EXPIRED
     return SpanStatus.ERROR
 
@@ -93,10 +97,15 @@ class SpanStore:
     def __init__(self) -> None:
         self._spans: List[Span] = []
         self._by_trace: Dict[str, List[Span]] = defaultdict(list)
+        # span ids per trace, maintained incrementally so orphan checks
+        # don't rebuild the set per trace per call (the tracewatch
+        # scanner runs orphans() repeatedly over the whole store)
+        self._ids: Dict[str, Set[str]] = defaultdict(set)
 
     def add(self, span: Span) -> Span:
         self._spans.append(span)
         self._by_trace[span.trace_id].append(span)
+        self._ids[span.trace_id].add(span.span_id)
         return span
 
     def spans(self) -> List[Span]:
@@ -120,7 +129,7 @@ class SpanStore:
         traces = ([trace_id] if trace_id is not None else list(self._by_trace))
         out: List[Span] = []
         for tid in traces:
-            ids = {s.span_id for s in self._by_trace.get(tid, [])}
+            ids = self._ids.get(tid, ())
             out.extend(
                 s for s in self._by_trace.get(tid, [])
                 if s.parent_id is not None and s.parent_id not in ids
@@ -129,6 +138,20 @@ class SpanStore:
 
     def unfinished(self) -> List[Span]:
         return [s for s in self._spans if not s.finished]
+
+    def _drop_traces(self, trace_ids: Iterable[str]) -> int:
+        """Remove whole traces, keeping every index consistent; returns
+        the number of spans dropped (retention policies live in
+        :class:`~repro.telemetry.pipeline.BoundedSpanStore`)."""
+        doomed = set(trace_ids)
+        dropped = 0
+        for tid in doomed:
+            dropped += len(self._by_trace.pop(tid, ()))
+            self._ids.pop(tid, None)
+        if doomed:
+            self._spans = [s for s in self._spans
+                           if s.trace_id not in doomed]
+        return dropped
 
     def __len__(self) -> int:
         return len(self._spans)

@@ -303,6 +303,9 @@ class ZenithServer(Service):
         self.requests_routed += 1
         self.log_event(str(session["sub"]), "zenith.route", service,
             Outcome.SUCCESS, path=path,
+            # the grant basis on the tunnels surface: the live registered
+            # tunnel the authenticated session was routed through
+            rule=f"tunnel:{service}",
         )
         return record.client.deliver(inner)
 
