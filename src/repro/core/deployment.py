@@ -61,6 +61,13 @@ from repro.federation import (
     LevelOfAssurance,
     MyAccessID,
 )
+from repro.federation.directory import (
+    DirectoryConfig,
+    FederationDirectory,
+    MetadataIngestor,
+    ShardedAccountRegistry,
+    ShardedMetadataStore,
+)
 from repro.ids import IdFactory
 from repro.net import Firewall, Network, OperatingDomain, Service, Zone
 from repro.oidc import make_url
@@ -208,6 +215,8 @@ class IsambardDeployment:
     tail: Optional[TailConfig] = None
     # continuous authorization (repro.authz); None unless authz on
     authz: Optional[AuthzRuntime] = None
+    # federation directory (repro.federation.directory); None unless on
+    directory: Optional[FederationDirectory] = None
 
     # ------------------------------------------------------------------
     def validator_for(self, audience: str) -> RbacTokenValidator:
@@ -337,6 +346,7 @@ def build_isambard(
     tail: Union[bool, TailConfig] = False,
     authz: Union[bool, AuthzConfig] = False,
     pipeline: Union[bool, PipelineConfig] = False,
+    directory: Union[bool, DirectoryConfig] = False,
 ) -> IsambardDeployment:
     """Construct the full simulated Isambard DRI.
 
@@ -448,6 +458,22 @@ def build_isambard(
     or a refusal.  The SOC serves the ledger and pipeline stats at
     ``/scoreboard`` and ``/explain``.  Pass a
     :class:`~repro.telemetry.PipelineConfig` to size the budgets.
+
+    ``directory`` turns on the federation directory (PR 11): the
+    MyAccessID account registry and the eduGAIN metadata aggregate move
+    onto consistent-hash sharded, per-shard-journaled tiers
+    (:class:`~repro.federation.directory.ShardedAccountRegistry` /
+    :class:`~repro.federation.directory.ShardedMetadataStore`) sized for
+    1M+ users and 10k IdPs, with a batched
+    :class:`~repro.federation.directory.MetadataIngestor` consuming
+    signed registrar delta feeds and validity windows that fail stale-
+    metadata logins closed.  Shards rebalance with deterministic key
+    migration on ``add_shard``/``remove_shard``; chaos gains
+    ``faults.shard_down`` and ``faults.metadata_feed_stale``, and with
+    ``durability`` on each shard journals independently
+    (``dri.crash("dir-acct-03")`` et al.).  Pass a
+    :class:`~repro.federation.directory.DirectoryConfig` to size the
+    tiers.  The runtime handle is ``dri.directory``.
     """
     region_cfg: Optional[RegionConfig] = None
     if regions:
@@ -468,6 +494,10 @@ def build_isambard(
     authz_cfg: Optional[AuthzConfig] = None
     if authz:
         authz_cfg = authz if isinstance(authz, AuthzConfig) else AuthzConfig()
+    directory_cfg: Optional[DirectoryConfig] = None
+    if directory:
+        directory_cfg = (directory if isinstance(directory, DirectoryConfig)
+                         else DirectoryConfig())
     # assembled late (after durability/failover); declared here so the
     # portal's revocation closure can route through it once it exists
     authz_rt: Optional[AuthzRuntime] = None
@@ -522,7 +552,21 @@ def build_isambard(
     network.telemetry = tele
 
     # ------------------------------------------------------------- federation
-    edugain = EduGain()
+    directory_rt: Optional[FederationDirectory] = None
+    if directory_cfg is not None:
+        # the sharded metadata store is EduGain-shaped, so everything
+        # downstream (MyAccessID validation, discovery, benchmarks)
+        # consumes it unchanged.  Bilateral trust anchors registered
+        # here get no validity window; feed-ingested entries always do.
+        edugain = ShardedMetadataStore(
+            clock, shards=directory_cfg.metadata_shards,
+            vnodes=directory_cfg.vnodes,
+            probe_cost=directory_cfg.probe_cost,
+            migration_batch=directory_cfg.migration_batch,
+            telemetry=tele, audit=logs["external"],
+        )
+    else:
+        edugain = EduGain()
     idps: Dict[str, InstitutionalIdP] = {}
     for endpoint, host, federation, display, loa, categories in idp_specs:
         idp = InstitutionalIdP(
@@ -533,11 +577,45 @@ def build_isambard(
         network.attach(idp, OperatingDomain.EXTERNAL, Zone.INTERNET)
         idps[endpoint] = idp
 
+    dir_accounts: Optional[ShardedAccountRegistry] = None
+    if directory_cfg is not None:
+        dir_accounts = ShardedAccountRegistry(
+            clock, ids, shards=directory_cfg.account_shards,
+            vnodes=directory_cfg.vnodes,
+            probe_cost=directory_cfg.probe_cost,
+            migration_batch=directory_cfg.migration_batch,
+            telemetry=tele, audit=logs["external"],
+        )
     myaccessid = MyAccessID(
         "myaccessid", clock, ids, edugain,
         policy=AssurancePolicy(), audit=logs["external"],
+        registry=dir_accounts,
     )
     network.attach(myaccessid, OperatingDomain.EXTERNAL, Zone.INTERNET)
+
+    if directory_cfg is not None:
+        ingestor = MetadataIngestor(
+            clock, edugain, audit=logs["external"], telemetry=tele)
+        directory_rt = FederationDirectory(
+            config=directory_cfg, accounts=dir_accounts,
+            metadata=edugain, ingestor=ingestor,
+        )
+
+        def _dir_tier(tier: str):
+            if tier == "accounts":
+                return directory_rt.accounts
+            if tier == "metadata":
+                return directory_rt.metadata
+            raise ConfigurationError(f"no directory tier {tier!r}")
+
+        faults.register_shard_hooks(
+            lambda tier, shard: _dir_tier(tier).shard_down(shard),
+            lambda tier, shard: _dir_tier(tier).shard_up(shard),
+        )
+        faults.register_feed_hooks(
+            lambda feed: directory_rt.ingestor.set_feed_down(feed, True),
+            lambda feed: directory_rt.ingestor.set_feed_down(feed, False),
+        )
 
     lastresort = LastResortIdP("idp-lastresort", clock, ids, audit=logs["fds"])
     admin_idp = CloudAdminIdP("idp-admin", clock, ids, audit=logs["fds"])
@@ -1039,6 +1117,16 @@ def build_isambard(
         lastresort.attach_journal(store.stream("idp-lastresort"))
         ssh_ca.attach_journal(store.stream("ssh-ca"))
         portal.attach_journal(store.stream("portal"))
+        if directory_rt is not None:
+            # each directory shard journals independently — a single
+            # shard crash replays only its own partition, and shards
+            # added later (rebalancing) get streams via journal_factory
+            for tier_obj in (directory_rt.accounts, directory_rt.metadata):
+                for sname in sorted(tier_obj.shards):
+                    tier_obj.shards[sname].attach_journal(
+                        store.stream(f"dir-{sname}"))
+                tier_obj.journal_factory = (
+                    lambda n, _s=store: _s.stream(f"dir-{n}"))
         for fw in forwarders:
             fw.attach_journal(store.stream(fw.name))
 
@@ -1141,6 +1229,10 @@ def build_isambard(
     # --- continuous authorization: identity, registry, pipeline, loop ----
     if authz_cfg is not None:
         graph = IdentityGraph(authz_cfg.trust_domain, authority=spire)
+        if directory_rt is not None:
+            # interactive registrations mint canonical SPIFFE principals;
+            # bulk onboarding batches stay out of the graph by design
+            directory_rt.accounts.graph = graph
         session_registry = SessionRegistry(clock, graph=graph)
         pdp = PolicyDecisionPoint(
             clock, policy_engine,
@@ -1381,6 +1473,24 @@ def build_isambard(
             authz_rt.pipeline.wipe_state,
             lambda: authz_rt.pipeline.recover(),
         )
+    if directory_rt is not None:
+
+        def _shard_target(shard):
+            def crash_fn() -> None:
+                shard.up = False
+                shard.wipe_state()
+
+            def restart_fn():
+                report = shard.recover() if shard.journal is not None else None
+                shard.up = True
+                return report
+
+            return crash_fn, restart_fn
+
+        for tier_obj in (directory_rt.accounts, directory_rt.metadata):
+            for sname in sorted(tier_obj.shards):
+                crash_targets[f"dir-{sname}"] = _shard_target(
+                    tier_obj.shards[sname])
     for target, (crash_fn, restart_fn) in crash_targets.items():
         faults.register_crash_hooks(target, crash_fn, restart_fn)
 
@@ -1409,6 +1519,7 @@ def build_isambard(
         region_autoscalers=region_autoscalers,
         tail=tail_cfg,
         authz=authz_rt,
+        directory=directory_rt,
         caches=({} if token_cache is None else {
             "token-decisions": token_cache, "jwks": jwks_cache,
             "introspection": introspect_cache, "ssh-certs": cert_cache,

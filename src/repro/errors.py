@@ -27,11 +27,13 @@ __all__ = [
     "AssuranceTooLow",
     "IdentityNotRegistered",
     "RegistrationError",
+    "MetadataStale",
     "NetworkError",
     "ConnectionBlocked",
     "EncryptionRequired",
     "ServiceUnavailable",
     "FaultInjected",
+    "ShardUnavailable",
     "CircuitOpen",
     "AttemptTimeout",
     "RateLimited",
@@ -125,6 +127,16 @@ class RegistrationError(FederationError):
     rejected an identity with no granted role)."""
 
 
+class MetadataStale(FederationError):
+    """The IdP's federation metadata is past its validity window.
+
+    Signed metadata documents carry an expiry precisely so a consumer
+    that has lost contact with its feed cannot keep trusting old keys
+    forever; the login path fails *closed* on an expired entry rather
+    than validating an assertion against a verifier that may have been
+    rotated or revoked since."""
+
+
 # ---------------------------------------------------------------------------
 # network / segmentation
 # ---------------------------------------------------------------------------
@@ -148,6 +160,15 @@ class FaultInjected(ServiceUnavailable):
     """The chaos harness failed this message (outage, brownout, flap or
     partition).  Subclasses :class:`ServiceUnavailable` so clients handle
     injected faults exactly as they would a real dependency outage."""
+
+
+class ShardUnavailable(ServiceUnavailable):
+    """The directory shard owning this key is down.
+
+    Sharded tiers fail *closed*: a lookup whose owning shard is
+    unreachable is refused rather than answered from a possibly stale
+    or partial view — the other shards keep serving their own key
+    ranges, so the blast radius stays one shard wide."""
 
 
 class CircuitOpen(ServiceUnavailable):

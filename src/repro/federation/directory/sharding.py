@@ -1,0 +1,724 @@
+"""Sharded identity tier: the account registry on a consistent-hash ring.
+
+The paper's north star is a national federation — millions of users
+across thousands of IdPs — and a single in-process dict is not a
+substrate for that.  This module places the MyAccessID account registry
+on the existing :class:`~repro.scale.hashring.BoundedLoadRing`:
+
+* Two key spaces share one ring — identity keys (``id:<entity>\\n<sub>``)
+  and uid keys (``uid:<uid>``) — so an account's identity links and its
+  row may legitimately live on *different* shards, exactly as they would
+  behind a real partitioned store.  Cross-shard invariants (uid
+  uniqueness, identity-linking consistency, retired-uid-never-reassigned)
+  are therefore properties of the registry's *protocol*, not of any one
+  shard, and :meth:`ShardedAccountRegistry.verify_invariants` scans for
+  them globally.
+* Each shard is :class:`~repro.resilience.durability.Durable`: every
+  mutation journals before it applies (WAL discipline), so a shard crash
+  recovers losslessly through the deployment's
+  :class:`~repro.resilience.DurabilityStore`, shard by shard.
+* Shard add/remove is a *stepwise deterministic migration*: the plan is
+  the sorted list of keys whose ring owner changed, and until a key's
+  batch has moved, lookups probe the new owner, miss, and fall back to
+  the source shard — one extra probe, which is what bounds the lookup
+  p99 during a migration (at most ``2 × probe_cost``).
+* A downed shard fails its key range *closed*
+  (:class:`~repro.errors.ShardUnavailable`); the other shards keep
+  serving theirs.
+
+Probe costs are modelled as *recorded* simulated latencies
+(``lookup_latencies``), not clock advances — a lookup is a read, and
+advancing the shared clock per read would perturb every token lifetime
+in the deployment.  Benches window the recorded samples instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.audit import Outcome
+from repro.errors import (
+    ConfigurationError,
+    FederationError,
+    IdentityNotRegistered,
+    RecoveryError,
+    ShardUnavailable,
+)
+from repro.federation.assurance import LevelOfAssurance
+from repro.federation.myaccessid import Account, LinkedIdentity
+from repro.resilience.durability import Durable, ServiceJournal
+from repro.scale.hashring import BoundedLoadRing
+
+__all__ = [
+    "DirectoryConfig",
+    "DirectoryShard",
+    "AccountShard",
+    "Migration",
+    "ShardedTier",
+    "ShardedAccountRegistry",
+    "PROBE_COST",
+]
+
+# simulated seconds one shard probe costs the caller (network hop +
+# partition-local index read); a fallback during migration pays two
+PROBE_COST = 0.0004
+
+
+@dataclass(frozen=True)
+class DirectoryConfig:
+    """Sizing knobs for the federation directory tier."""
+
+    account_shards: int = 8
+    metadata_shards: int = 4
+    vnodes: int = 32              # ring vnodes per shard
+    probe_cost: float = PROBE_COST
+    migration_batch: int = 4096   # keys moved per migration step
+    feed_validity: float = 14 * 86400.0  # default metadata validity window
+
+
+class DirectoryShard(Durable):
+    """Common journaled-shard machinery: commit, migration payloads.
+
+    Subclasses define the tables and implement the :class:`Durable`
+    contract plus :meth:`ring_keys` / :meth:`extract` / :meth:`install`.
+    """
+
+    snapshot_every = 512
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.up = True
+
+    def commit(self, kind: str, **data: object) -> None:
+        """WAL-then-apply: journal the mutation, then mutate."""
+        self._jpublish(kind, **data)
+        self.apply_entry(kind, data)
+
+    # -------------------------------------------------- migration contract
+    def ring_keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def extract(self, ring_keys: List[str]) -> Dict[str, object]:
+        """Journal + remove the listed keys; return their payload."""
+        raise NotImplementedError
+
+    def install(self, payload: Dict[str, object]) -> None:
+        """Journal + insert a payload extracted from another shard."""
+        raise NotImplementedError
+
+
+class AccountShard(DirectoryShard):
+    """One partition of the account registry.
+
+    Tables: ``idmap`` (identity key -> uid), ``accounts`` (uid -> row),
+    ``retired`` (tombstoned uids — never reassigned).  Rows are plain
+    JSON dicts; :class:`~repro.federation.myaccessid.Account` objects are
+    materialised on read.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.idmap: Dict[str, str] = {}
+        self.accounts: Dict[str, Dict[str, object]] = {}
+        self.retired: Set[str] = set()
+
+    # ----------------------------------------------------- Durable contract
+    def durable_state(self) -> Dict[str, object]:
+        return {
+            "idmap": {k: self.idmap[k] for k in sorted(self.idmap)},
+            "accounts": {u: self.accounts[u] for u in sorted(self.accounts)},
+            "retired": sorted(self.retired),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.idmap = dict(state.get("idmap", {}))
+        self.accounts = {u: dict(r) for u, r in state.get("accounts", {}).items()}
+        self.retired = set(state.get("retired", []))
+
+    def wipe_state(self) -> None:
+        self.idmap = {}
+        self.accounts = {}
+        self.retired = set()
+
+    def apply_entry(self, kind: str, data: Dict[str, object]) -> None:
+        if kind == "idmap.put":
+            self.idmap[data["key"]] = data["uid"]
+        elif kind == "idmap.put_batch":
+            for key, uid in data["pairs"]:
+                self.idmap[key] = uid
+        elif kind == "idmap.del":
+            self.idmap.pop(data["key"], None)
+        elif kind == "account.put":
+            self.accounts[data["uid"]] = dict(data["row"])
+        elif kind == "account.put_batch":
+            for row in data["rows"]:
+                self.accounts[row["uid"]] = dict(row)
+        elif kind == "account.del":
+            self.accounts.pop(data["uid"], None)
+        elif kind == "retire":
+            self.retired.add(data["uid"])
+        elif kind == "migrate.in":
+            for key, uid in data["idmap"]:
+                self.idmap[key] = uid
+            for row in data["accounts"]:
+                self.accounts[row["uid"]] = dict(row)
+            self.retired.update(data["retired"])
+        elif kind == "migrate.out":
+            for key in data["idmap"]:
+                self.idmap.pop(key, None)
+            for uid in data["accounts"]:
+                self.accounts.pop(uid, None)
+            self.retired.difference_update(data["retired"])
+        else:
+            raise ConfigurationError(
+                f"account shard {self.name!r}: unknown journal kind {kind!r}")
+
+    def verify_recovery(self, report) -> None:
+        zombie = self.retired & set(self.accounts)
+        if zombie:
+            raise RecoveryError(
+                f"shard {self.name!r} recovered retired uids with live "
+                f"accounts: {sorted(zombie)[:3]}")
+
+    # ------------------------------------------------------------ migration
+    def ring_keys(self) -> Iterator[str]:
+        for key in self.idmap:
+            yield "id:" + key
+        for uid in self.accounts:
+            yield "uid:" + uid
+        for uid in self.retired:
+            yield "uid:" + uid  # disjoint from accounts (deprovision deletes)
+
+    def extract(self, ring_keys: List[str]) -> Dict[str, object]:
+        idmap: List[List[str]] = []
+        accounts: List[Dict[str, object]] = []
+        retired: List[str] = []
+        for rk in ring_keys:
+            if rk.startswith("id:"):
+                key = rk[3:]
+                if key in self.idmap:
+                    idmap.append([key, self.idmap[key]])
+            else:
+                uid = rk[4:]
+                if uid in self.accounts:
+                    accounts.append(self.accounts[uid])
+                if uid in self.retired:
+                    retired.append(uid)
+        self.commit("migrate.out",
+                    idmap=[k for k, _ in idmap],
+                    accounts=[row["uid"] for row in accounts],
+                    retired=retired)
+        return {"idmap": idmap, "accounts": accounts, "retired": retired}
+
+    def install(self, payload: Dict[str, object]) -> None:
+        self.commit("migrate.in", **payload)
+
+    def key_count(self) -> int:
+        return len(self.idmap) + len(self.accounts) + len(self.retired)
+
+
+class Migration:
+    """One in-flight shard rebalance: a sorted move plan, stepped in batches.
+
+    ``pending`` maps every not-yet-moved ring key to its *source* shard;
+    tier lookups consult it to fall back (one extra probe) until the
+    key's batch lands.  ``step``/``run`` drive the plan; each step
+    journals a ``migrate.out`` on the source and a ``migrate.in`` on the
+    destination per (source, destination) group, so a crash mid-migration
+    recovers to a consistent cut.
+    """
+
+    def __init__(self, tier: "ShardedTier",
+                 moves: List[Tuple[str, str, str]]) -> None:
+        self.tier = tier
+        self.moves = moves  # (ring_key, src, dst), sorted by ring_key
+        self.pending: Dict[str, str] = {rk: src for rk, src, _ in moves}
+        self.cursor = 0
+        self.started_at = tier.clock.now()
+        self.finished_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.moves)
+
+    @property
+    def total(self) -> int:
+        return len(self.moves)
+
+    def step(self, batch: Optional[int] = None) -> int:
+        """Move the next ``batch`` keys; returns how many moved."""
+        if self.done:
+            return 0
+        n = self.tier.migration_batch if batch is None else batch
+        chunk = self.moves[self.cursor:self.cursor + n]
+        groups: Dict[Tuple[str, str], List[str]] = {}
+        for rk, src, dst in chunk:
+            groups.setdefault((src, dst), []).append(rk)
+        for (src, dst) in sorted(groups):
+            keys = groups[(src, dst)]
+            payload = self.tier.shards[src].extract(keys)
+            self.tier.shards[dst].install(payload)
+            self.tier.note_migrated(len(keys))
+        for rk, _, _ in chunk:
+            del self.pending[rk]
+        self.cursor += len(chunk)
+        if self.done:
+            self.finished_at = self.tier.clock.now()
+            self.tier._migration_finished(self)
+        return len(chunk)
+
+    def run(self, batch: Optional[int] = None) -> int:
+        """Drive the plan to completion; returns total keys moved."""
+        moved = 0
+        while not self.done:
+            moved += self.step(batch)
+        return moved
+
+
+class ShardedTier:
+    """Ring placement + health + stepwise migration, shared by both tiers."""
+
+    tier = "tier"
+
+    def __init__(self, clock, shard_names: Iterable[str], *,
+                 vnodes: int = 32, probe_cost: float = PROBE_COST,
+                 migration_batch: int = 4096,
+                 telemetry=None, audit=None) -> None:
+        names = list(shard_names)
+        if not names:
+            raise ConfigurationError(f"{self.tier} tier needs >= 1 shard")
+        self.clock = clock
+        self.probe_cost = probe_cost
+        self.migration_batch = migration_batch
+        self.telemetry = telemetry
+        self.audit = audit
+        self.ring = BoundedLoadRing(names, vnodes=vnodes)
+        self.shards: Dict[str, DirectoryShard] = {
+            name: self._new_shard(name) for name in names}
+        # set by the deployment when durable: name -> ServiceJournal for
+        # shards added after construction
+        self.journal_factory: Optional[Callable[[str], ServiceJournal]] = None
+        self._migration: Optional[Migration] = None
+        self._draining: Optional[str] = None
+        # stats (recorded simulated latencies; never clock advances)
+        self.lookups = 0
+        self.fallback_probes = 0
+        self.unavailable_denials = 0
+        self.lookup_latencies: List[float] = []
+        self.migrated_keys = 0
+
+    def _new_shard(self, name: str) -> DirectoryShard:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ placement
+    def _locate(self, ring_key: str, *, record: bool = True) -> DirectoryShard:
+        """Resolve a ring key to its serving shard, modelling probe cost.
+
+        During a migration an unmoved key costs one extra probe: the
+        caller asks the new ring owner, misses, and falls back to the
+        source shard the pending map still names.
+        """
+        cost = self.probe_cost
+        owner = self.ring.locate(ring_key)
+        fell_back = False
+        mig = self._migration
+        if mig is not None:
+            src = mig.pending.get(ring_key)
+            if src is not None and src != owner:
+                cost += self.probe_cost
+                owner = src
+                fell_back = True
+        shard = self.shards[owner]
+        if record:
+            self.lookups += 1
+            self.lookup_latencies.append(cost)
+            if fell_back:
+                self.fallback_probes += 1
+            if self.telemetry is not None:
+                self.telemetry.directory_lookups.inc(
+                    tier=self.tier,
+                    result="fallback" if fell_back else "ok")
+        if not shard.up:
+            self.unavailable_denials += 1
+            if self.telemetry is not None:
+                self.telemetry.directory_lookups.inc(
+                    tier=self.tier, result="unavailable")
+            raise ShardUnavailable(
+                f"{self.tier} shard {shard.name!r} is down "
+                f"(key range fails closed)")
+        return shard
+
+    # --------------------------------------------------------- shard health
+    def shard_down(self, name: str) -> None:
+        """Chaos hook: the shard stops serving (state intact)."""
+        self._shard(name).up = False
+
+    def shard_up(self, name: str) -> None:
+        self._shard(name).up = True
+
+    def _shard(self, name: str) -> DirectoryShard:
+        shard = self.shards.get(name)
+        if shard is None:
+            raise ConfigurationError(
+                f"no {self.tier} shard named {name!r}")
+        return shard
+
+    # ----------------------------------------------------------- membership
+    def add_shard(self, name: str) -> Optional[Migration]:
+        """Join a shard and plan the deterministic key migration onto it."""
+        if name in self.shards:
+            raise ConfigurationError(f"{self.tier} shard {name!r} exists")
+        self._check_no_migration()
+        shard = self._new_shard(name)
+        if self.journal_factory is not None:
+            shard.attach_journal(self.journal_factory(name))
+        self.shards[name] = shard
+        self.ring.add(name)
+        return self._plan_migration()
+
+    def remove_shard(self, name: str) -> Optional[Migration]:
+        """Leave the ring; the shard keeps serving its keys while the
+        migration drains them, then it is dropped."""
+        self._shard(name)
+        if len(self.shards) == 1:
+            raise ConfigurationError(
+                f"cannot remove the last {self.tier} shard")
+        self._check_no_migration()
+        self.ring.remove(name)
+        self._draining = name
+        migration = self._plan_migration()
+        if migration is None:  # nothing stored there: drop immediately
+            self._drop_drained()
+        return migration
+
+    def _check_no_migration(self) -> None:
+        if self._migration is not None and not self._migration.done:
+            raise ConfigurationError(
+                f"a {self.tier} migration is already in flight "
+                f"({self._migration.cursor}/{self._migration.total} moved)")
+
+    def _plan_migration(self) -> Optional[Migration]:
+        moves: List[Tuple[str, str, str]] = []
+        for name in sorted(self.shards):
+            for rk in self.shards[name].ring_keys():
+                dst = self.ring.locate(rk)
+                if dst != name:
+                    moves.append((rk, name, dst))
+        moves.sort()
+        self._migration = Migration(self, moves) if moves else None
+        return self._migration
+
+    def _migration_finished(self, migration: Migration) -> None:
+        self._drop_drained()
+
+    def _drop_drained(self) -> None:
+        if self._draining is None:
+            return
+        shard = self.shards[self._draining]
+        if shard.key_count() != 0:
+            raise RecoveryError(
+                f"drained {self.tier} shard {self._draining!r} still holds "
+                f"{shard.key_count()} keys")
+        del self.shards[self._draining]
+        self._draining = None
+
+    @property
+    def migration(self) -> Optional[Migration]:
+        return self._migration
+
+    def note_migrated(self, n: int) -> None:
+        self.migrated_keys += n
+        if self.telemetry is not None:
+            self.telemetry.directory_migrated.inc(n, tier=self.tier)
+
+    # ---------------------------------------------------------------- stats
+    def reset_lookup_stats(self) -> None:
+        """Start a fresh latency window (benches bracket phases with this)."""
+        self.lookup_latencies = []
+
+    def note_sizes(self) -> Dict[str, int]:
+        sizes = {name: self.shards[name].key_count()
+                 for name in sorted(self.shards)}
+        if self.telemetry is not None:
+            for name, count in sizes.items():
+                self.telemetry.directory_shard_keys.set(
+                    count, tier=self.tier, shard=name)
+        return sizes
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "shards": len(self.shards),
+            "lookups": self.lookups,
+            "fallback_probes": self.fallback_probes,
+            "unavailable_denials": self.unavailable_denials,
+            "migrated_keys": self.migrated_keys,
+        }
+
+
+class ShardedAccountRegistry(ShardedTier):
+    """The MyAccessID account registry, partitioned across journaled shards.
+
+    Drop-in for :class:`~repro.federation.myaccessid.AccountRegistry`
+    (same surface: ``register_or_get`` / ``link`` / ``find`` /
+    ``deprovision`` / ``account`` / ``__len__``), plus
+    :meth:`register_batch` for bulk onboarding (one journal entry per
+    touched shard per wave, not one per user) and
+    :meth:`verify_invariants` for the cross-shard guarantees.
+    """
+
+    tier = "accounts"
+
+    def __init__(self, clock, ids, *, shards=8, uid_suffix: str = "@myaccessid",
+                 vnodes: int = 32, probe_cost: float = PROBE_COST,
+                 migration_batch: int = 4096,
+                 telemetry=None, audit=None) -> None:
+        names = ([f"acct-{i:02d}" for i in range(shards)]
+                 if isinstance(shards, int) else list(shards))
+        super().__init__(clock, names, vnodes=vnodes, probe_cost=probe_cost,
+                         migration_batch=migration_batch,
+                         telemetry=telemetry, audit=audit)
+        self.ids = ids
+        self.uid_suffix = uid_suffix
+        # optional repro.authz.IdentityGraph: interactively registered
+        # accounts mint canonical principals (bulk waves stay lazy — the
+        # graph mints on first live grant anyway)
+        self.graph = None
+        self.batched_registrations = 0
+
+    # ---------------------------------------------------------------- keys
+    @staticmethod
+    def _ikey(identity: LinkedIdentity) -> str:
+        return f"{identity.entity_id}\n{identity.sub}"
+
+    def _identity_shard(self, identity: LinkedIdentity, *,
+                        record: bool = True) -> AccountShard:
+        return self._locate("id:" + self._ikey(identity), record=record)
+
+    def _uid_shard(self, uid: str, *, record: bool = True) -> AccountShard:
+        return self._locate("uid:" + uid, record=record)
+
+    def _new_shard(self, name: str) -> AccountShard:
+        return AccountShard(name)
+
+    @staticmethod
+    def _materialize(row: Dict[str, object]) -> Account:
+        return Account(
+            uid=row["uid"],
+            linked=[LinkedIdentity(entity_id=e, sub=s)
+                    for e, s in row["linked"]],
+            display_name=row["display_name"],
+            email=row["email"],
+            created_at=row["created_at"],
+            loa=LevelOfAssurance(row["loa"]),
+        )
+
+    # ------------------------------------------------------------- registry
+    def register_or_get(self, identity: LinkedIdentity, *, display_name: str,
+                        email: str, loa: LevelOfAssurance,
+                        now: float) -> Account:
+        """Idempotently resolve an external identity to its account."""
+        ishard = self._identity_shard(identity)
+        ikey = self._ikey(identity)
+        uid = ishard.idmap.get(ikey)
+        if uid is not None:
+            return self._materialize(self._uid_shard(uid).accounts[uid])
+        uid = self.ids.next("ma") + self.uid_suffix
+        ushard = self._uid_shard(uid)
+        if uid in ushard.retired or uid in ushard.accounts:
+            # IdFactory counters make minted uids globally fresh; a hit
+            # here means the tombstone protocol was violated
+            raise RecoveryError(f"minted uid {uid!r} already used")
+        row = {
+            "uid": uid,
+            "linked": [[identity.entity_id, identity.sub]],
+            "display_name": display_name,
+            "email": email,
+            "created_at": now,
+            "loa": int(loa),
+        }
+        ishard.commit("idmap.put", key=ikey, uid=uid)
+        ushard.commit("account.put", uid=uid, row=row)
+        if self.graph is not None:
+            self.graph.principal(uid)
+        return self._materialize(row)
+
+    def register_batch(self, entries: Iterable[Dict[str, object]], *,
+                       now: float) -> List[str]:
+        """Bulk onboarding wave: entries are dicts with ``entity_id``,
+        ``sub``, ``display_name``, ``email``, ``loa``.
+
+        All placements resolve (and fail closed on a downed shard)
+        *before* anything commits; then each touched shard gets one
+        ``idmap.put_batch`` / ``account.put_batch`` journal entry — the
+        WAL amplification of onboarding 1M users is per-shard-per-wave,
+        not per-user.  Existing identities resolve to their current uid.
+        """
+        id_batches: Dict[str, List[List[str]]] = {}
+        row_batches: Dict[str, List[Dict[str, object]]] = {}
+        seen: Dict[str, str] = {}
+        uids: List[str] = []
+        for entry in entries:
+            identity = LinkedIdentity(entity_id=str(entry["entity_id"]),
+                                      sub=str(entry["sub"]))
+            ikey = self._ikey(identity)
+            if ikey in seen:
+                uids.append(seen[ikey])
+                continue
+            ishard = self._identity_shard(identity, record=False)
+            existing = ishard.idmap.get(ikey)
+            if existing is not None:
+                seen[ikey] = existing
+                uids.append(existing)
+                continue
+            uid = self.ids.next("ma") + self.uid_suffix
+            ushard = self._uid_shard(uid, record=False)
+            id_batches.setdefault(ishard.name, []).append([ikey, uid])
+            row_batches.setdefault(ushard.name, []).append({
+                "uid": uid,
+                "linked": [[identity.entity_id, identity.sub]],
+                "display_name": str(entry.get("display_name", "")),
+                "email": str(entry.get("email", "")),
+                "created_at": now,
+                "loa": int(entry.get("loa", LevelOfAssurance.CAPPUCCINO)),
+            })
+            seen[ikey] = uid
+            uids.append(uid)
+        for name in sorted(id_batches):
+            self.shards[name].commit("idmap.put_batch", pairs=id_batches[name])
+        for name in sorted(row_batches):
+            self.shards[name].commit("account.put_batch",
+                                     rows=row_batches[name])
+        fresh = sum(len(rows) for rows in row_batches.values())
+        self.batched_registrations += fresh
+        return uids
+
+    def link(self, uid: str, identity: LinkedIdentity) -> Account:
+        """Attach a second external identity to an existing account.
+
+        The identity mapping lands on the *identity's* shard, the
+        updated linked-list on the *uid's* shard — the canonical
+        cross-shard write this tier must keep consistent.
+        """
+        ushard = self._uid_shard(uid)
+        row = ushard.accounts.get(uid)
+        if row is None:
+            raise IdentityNotRegistered(f"no account {uid!r}")
+        ishard = self._identity_shard(identity)
+        ikey = self._ikey(identity)
+        existing = ishard.idmap.get(ikey)
+        if existing is not None and existing != uid:
+            raise FederationError(
+                f"identity {identity} is already linked to a different account")
+        if existing is None:
+            new_row = dict(row)
+            new_row["linked"] = (list(row["linked"])
+                                 + [[identity.entity_id, identity.sub]])
+            ishard.commit("idmap.put", key=ikey, uid=uid)
+            ushard.commit("account.put", uid=uid, row=new_row)
+            row = new_row
+        return self._materialize(row)
+
+    def find(self, identity: LinkedIdentity) -> Optional[Account]:
+        ishard = self._identity_shard(identity)
+        uid = ishard.idmap.get(self._ikey(identity))
+        if uid is None:
+            return None
+        row = self._uid_shard(uid).accounts.get(uid)
+        return self._materialize(row) if row is not None else None
+
+    def account(self, uid: str) -> Optional[Account]:
+        row = self._uid_shard(uid).accounts.get(uid)
+        return self._materialize(row) if row is not None else None
+
+    def deprovision(self, uid: str) -> int:
+        """Erase an account; retire the uid forever.
+
+        Every involved shard (the uid's, plus one per linked identity)
+        is resolved and health-checked *before* the first commit, so a
+        downed shard fails the whole erasure closed instead of leaving a
+        half-severed account behind.
+        """
+        ushard = self._uid_shard(uid)
+        row = ushard.accounts.get(uid)
+        if row is None:
+            raise IdentityNotRegistered(f"no account {uid!r}")
+        targets: List[Tuple[AccountShard, str]] = []
+        for entity_id, sub in row["linked"]:
+            ishard = self._locate(f"id:{entity_id}\n{sub}")
+            targets.append((ishard, f"{entity_id}\n{sub}"))
+        ushard.commit("account.del", uid=uid)
+        ushard.commit("retire", uid=uid)
+        removed = 0
+        for ishard, ikey in targets:
+            if ishard.idmap.get(ikey) == uid:
+                ishard.commit("idmap.del", key=ikey)
+                removed += 1
+        if self.audit is not None:
+            self.audit.record(
+                self.clock.now(), "directory", "operator",
+                "directory.deprovision", uid, Outcome.INFO,
+                links_removed=removed, shard=ushard.name,
+            )
+        return removed
+
+    def __len__(self) -> int:
+        return sum(len(s.accounts) for s in self.shards.values())
+
+    def retired_count(self) -> int:
+        return sum(len(s.retired) for s in self.shards.values())
+
+    # ----------------------------------------------------------- invariants
+    def verify_invariants(self) -> Dict[str, int]:
+        """Full cross-shard scan; raises :class:`RecoveryError` on any
+        violation.  Checks: no uid lives on two shards; no retired uid
+        has a live account anywhere; every identity link points at an
+        existing account that lists it; every key sits on its ring owner
+        (or is still pending at its migration source).
+        """
+        owners: Dict[str, str] = {}
+        retired_total = 0
+        for name in sorted(self.shards):
+            shard = self.shards[name]
+            for uid in shard.accounts:
+                if uid in owners:
+                    raise RecoveryError(
+                        f"uid {uid!r} lives on both {owners[uid]!r} "
+                        f"and {name!r}")
+                owners[uid] = name
+            retired_total += len(shard.retired)
+        for name in sorted(self.shards):
+            shard = self.shards[name]
+            for uid in shard.retired:
+                if uid in owners:
+                    raise RecoveryError(
+                        f"retired uid {uid!r} has a live account "
+                        f"on {owners[uid]!r}")
+        links = 0
+        for name in sorted(self.shards):
+            shard = self.shards[name]
+            for ikey, uid in shard.idmap.items():
+                owner = owners.get(uid)
+                if owner is None:
+                    raise RecoveryError(
+                        f"identity {ikey!r} maps to missing account {uid!r}")
+                entity_id, sub = ikey.split("\n", 1)
+                row = self.shards[owner].accounts[uid]
+                if [entity_id, sub] not in [list(li) for li in row["linked"]]:
+                    raise RecoveryError(
+                        f"account {uid!r} does not list identity {ikey!r}")
+                links += 1
+        mig = self._migration
+        for name in sorted(self.shards):
+            for rk in self.shards[name].ring_keys():
+                want = self.ring.locate(rk)
+                if want != name and not (
+                        mig is not None and mig.pending.get(rk) == name):
+                    raise RecoveryError(
+                        f"key {rk!r} on {name!r}, ring owner {want!r}")
+        return {
+            "accounts": len(owners),
+            "links": links,
+            "retired": retired_total,
+            "shards": len(self.shards),
+        }

@@ -78,6 +78,7 @@ class InstitutionalIdP(Service):
         self.categories = tuple(categories)
         self.audit = audit if audit is not None else AuditLog(f"{name}-audit")
         self.key = generate_signing_key("EdDSA", kid=f"{name}-idp-key")
+        self._key_generation = 1
         self._users: Dict[str, FederatedUser] = {}
         self.scope = entity_id.split("//")[-1]  # e.g. idp.bristol.ac.uk
 
@@ -122,6 +123,24 @@ class InstitutionalIdP(Service):
 
     def verifier(self):
         """Public key for eduGAIN metadata."""
+        return self.key.public()
+
+    def rotate_key(self):
+        """Institutional key ceremony: mint a fresh signing key.
+
+        Assertions signed from now on verify only against the *new*
+        public key — until the federation metadata is refreshed
+        (``refresh_idp`` / a feed delta), relying parties still pin the
+        old verifier and logins fail.  Returns the new public key.
+        """
+        self._key_generation += 1
+        self.key = generate_signing_key(
+            "EdDSA", kid=f"{self.name}-idp-key-g{self._key_generation}")
+        if self.audit is not None:
+            self.audit.record(
+                self.clock.now(), self.name, "registrar", "idp.key_rotated",
+                self.entity_id, Outcome.INFO, generation=self._key_generation,
+            )
         return self.key.public()
 
     # ------------------------------------------------------------------

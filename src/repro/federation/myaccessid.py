@@ -162,11 +162,15 @@ class MyAccessID(OidcProvider):
         policy: Optional[AssurancePolicy] = None,
         audit: Optional[AuditLog] = None,
         session_ttl: float = 8 * 3600.0,
+        registry: Optional[AccountRegistry] = None,
     ) -> None:
         super().__init__(name, clock, ids, audit=audit, session_ttl=session_ttl)
         self.edugain = edugain
         self.policy = policy if policy is not None else AssurancePolicy()
-        self.registry = AccountRegistry(ids)
+        # any object with the AccountRegistry surface works here — the
+        # directory tier passes a ShardedAccountRegistry so the proxy's
+        # account resolution rides the hash ring instead of one dict
+        self.registry = registry if registry is not None else AccountRegistry(ids)
         self.entity_id = f"https://{name}"
 
     # ------------------------------------------------------------------

@@ -35,7 +35,13 @@ Supported fault kinds (per endpoint, or per (domain, zone) flow):
 * **teardown_stuck** — one enforcement surface stops confirming
   revocations until the fault clears (the pipeline retries converge it);
 * **revocation_storm** — a burst of duplicate revocations lands on the
-  pipeline at one instant (coalescing keeps it from amplifying).
+  pipeline at one instant (coalescing keeps it from amplifying);
+* **shard_down** — one directory shard (accounts or metadata tier) goes
+  down; lookups whose keys hash to it fail closed while every other
+  shard keeps serving;
+* **metadata_feed_stale** — a federation registrar's feed stops
+  publishing; cached entries serve until their validity window lapses,
+  then logins through them fail closed.
 
 Injected failures raise :class:`~repro.errors.FaultInjected`, a subclass
 of :class:`~repro.errors.ServiceUnavailable` — clients cannot tell chaos
@@ -71,6 +77,11 @@ SLOW_REPLICA = "slow_replica"
 PDP_DOWN = "pdp_down"
 TEARDOWN_STUCK = "teardown_stuck"
 REVOCATION_STORM = "revocation_storm"
+# federation-directory fault kinds (hooks registered by the directory
+# tier): one shard of the sharded account/metadata stores goes down, or
+# a federation registrar's metadata feed stops publishing
+SHARD_DOWN = "shard_down"
+METADATA_FEED_STALE = "metadata_feed_stale"
 
 
 @dataclass
@@ -161,6 +172,15 @@ class FaultInjector:
         self.pdp_outages = 0
         self.teardowns_stuck = 0
         self.revocation_storms = 0
+        # federation-directory hooks, registered by the directory tier:
+        # (down_fn, up_fn) taking (tier, shard) for shard faults, and
+        # (stale_fn, fresh_fn) taking a feed name for registrar outages.
+        # Marker endpoints use "shard:"/"feed:" prefixes that never match
+        # a real dst name, so perturb() ignores them.
+        self._shard_hooks: Optional[Tuple[object, object]] = None
+        self._feed_hooks: Optional[Tuple[object, object]] = None
+        self.shards_downed = 0
+        self.feeds_staled = 0
 
     # ------------------------------------------------------------------
     # scheduling faults
@@ -495,6 +515,87 @@ class FaultInjector:
             _fire()
         else:
             self.clock.call_at(start, _fire)
+        return fault
+
+    # ------------------------------------------------------------------
+    # federation-directory faults (the directory tier registers the hooks)
+    # ------------------------------------------------------------------
+    def register_shard_hooks(self, down_fn, up_fn) -> None:
+        """Register the pair that downs/restores one directory shard;
+        both take ``(tier, shard)`` — tier is ``"accounts"`` or
+        ``"metadata"``, shard the shard name (e.g. ``"acct-03"``)."""
+        self._shard_hooks = (down_fn, up_fn)
+
+    def shard_down(self, tier: str, shard: str, *, at: Optional[float] = None,
+                   restore_after: Optional[float] = None) -> Fault:
+        """Take one directory shard down (state intact, just unreachable).
+
+        Lookups whose keys hash to it raise
+        :class:`~repro.errors.ShardUnavailable` — the sharded tier fails
+        that key range *closed* rather than guessing.  ``restore_after``
+        schedules the heal; omit it to leave the shard down until
+        restored explicitly.
+        """
+        if self._shard_hooks is None:
+            raise ConfigurationError("no shard hooks registered")
+        down_fn, up_fn = self._shard_hooks
+        start = self.clock.now() if at is None else at
+        fault = self._add(Fault(SHARD_DOWN, f"shard:{tier}/{shard}", start,
+                                restore_after))
+
+        def _fire() -> None:
+            if fault.cleared:
+                return
+            fault.hits += 1
+            fault.offers += 1
+            self.shards_downed += 1
+            down_fn(tier, shard)
+
+        if start <= self.clock.now():
+            _fire()
+        else:
+            self.clock.call_at(start, _fire)
+        if restore_after is not None:
+            def _restore() -> None:
+                up_fn(tier, shard)
+                fault.clear()
+            self.clock.call_at(start + restore_after, _restore)
+        return fault
+
+    def register_feed_hooks(self, stale_fn, fresh_fn) -> None:
+        """Register the pair that downs/restores a metadata feed's
+        registrar; both take the feed name."""
+        self._feed_hooks = (stale_fn, fresh_fn)
+
+    def metadata_feed_stale(self, feed: str, *, at: Optional[float] = None,
+                            duration: Optional[float] = None) -> Fault:
+        """Silence one federation registrar: polls fail, no new deltas
+        arrive, and the feed's already-ingested entries age toward their
+        validity horizon — past it, logins through them fail closed."""
+        if self._feed_hooks is None:
+            raise ConfigurationError("no feed hooks registered")
+        stale_fn, fresh_fn = self._feed_hooks
+        start = self.clock.now() if at is None else at
+        fault = self._add(Fault(METADATA_FEED_STALE, f"feed:{feed}", start,
+                                duration))
+
+        def _stale() -> None:
+            if fault.cleared:
+                return
+            fault.hits += 1
+            fault.offers += 1
+            self.feeds_staled += 1
+            stale_fn(feed)
+
+        if start <= self.clock.now():
+            _stale()
+        else:
+            self.clock.call_at(start, _stale)
+        if duration is not None:
+            def _fresh() -> None:
+                fresh_fn(feed)
+                fault.clear()
+            self.clock.call_at(start + duration, _fresh)
         return fault
 
     def heal_region_partition(self, region_a: str, region_b: str) -> None:

@@ -164,6 +164,31 @@ class Telemetry:
             "repro_tracewatch_skipped_spans_total",
             "Spans the trace watcher could not check against current "
             "topology (previously dropped silently)")
+        # federation-directory layer
+        self.directory_lookups = r.counter(
+            "repro_directory_lookups_total",
+            "Directory key lookups, by tier and result "
+            "(ok/fallback/unavailable)")
+        self.directory_migrated = r.counter(
+            "repro_directory_migrated_keys_total",
+            "Keys moved between shards by rebalancing migrations, by tier")
+        self.directory_shard_keys = r.gauge(
+            "repro_directory_shard_keys",
+            "Keys resident per directory shard, by tier and shard")
+        self.metadata_ingest_batches = r.counter(
+            "repro_metadata_ingest_batches_total",
+            "Feed polls/deltas processed, by feed and result "
+            "(applied/rejected/unavailable)")
+        self.metadata_ingest_entries = r.counter(
+            "repro_metadata_ingest_entries_total",
+            "Metadata entries upserted or removed via feed deltas, by feed")
+        self.metadata_stale_denials = r.counter(
+            "repro_metadata_stale_denials_total",
+            "Logins refused because the IdP's metadata validity window "
+            "lapsed, by federation")
+        self.metadata_feed_age = r.gauge(
+            "repro_metadata_feed_age_seconds",
+            "Seconds since each feed's content was last applied")
 
         if pipeline is not None:
             # the pre-registered families get the configured cardinality
